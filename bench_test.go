@@ -1,0 +1,392 @@
+package micgraph
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper (regenerating the experiment end-to-end on an 8x-shrunk suite,
+// so `go test -bench .` finishes in minutes; use cmd/micbench -scale 1 for
+// the paper-scale numbers recorded in EXPERIMENTS.md), plus microbenchmarks
+// of the real parallel kernels and the simulator itself.
+
+import (
+	"sync"
+	"testing"
+
+	"micgraph/internal/bfs"
+	"micgraph/internal/centrality"
+	"micgraph/internal/coloring"
+	"micgraph/internal/components"
+	"micgraph/internal/core"
+	"micgraph/internal/gen"
+	"micgraph/internal/irregular"
+	"micgraph/internal/mic"
+	"micgraph/internal/sched"
+)
+
+const benchScale = 8
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *core.Suite
+)
+
+func getBenchSuite(b *testing.B) *core.Suite {
+	b.Helper()
+	benchSuiteOnce.Do(func() {
+		s, err := core.NewSuite(benchScale)
+		if err != nil {
+			panic(err)
+		}
+		benchSuite = s
+	})
+	return benchSuite
+}
+
+func benchExperiment(b *testing.B, run func(*core.Suite) *core.Experiment) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp := run(s)
+		if len(exp.Series) == 0 && len(exp.Rows) == 0 {
+			b.Fatal("empty experiment")
+		}
+	}
+}
+
+// --- One benchmark per table/figure -------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, core.Table1)
+}
+
+func BenchmarkFig1aColoringOpenMP(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig1a(s, knf) })
+}
+
+func BenchmarkFig1bColoringCilk(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig1b(s, knf) })
+}
+
+func BenchmarkFig1cColoringTBB(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig1c(s, knf) })
+}
+
+func BenchmarkFig2ColoringShuffled(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig2(s, knf) })
+}
+
+func BenchmarkFig3aIrregularOpenMP(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig3a(s, knf) })
+}
+
+func BenchmarkFig3bIrregularCilk(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig3b(s, knf) })
+}
+
+func BenchmarkFig3cIrregularTBB(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig3c(s, knf) })
+}
+
+func BenchmarkFig4aBFSPwtk(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig4a(s, knf) })
+}
+
+func BenchmarkFig4bBFSInline1(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig4b(s, knf) })
+}
+
+func BenchmarkFig4cBFSAllMIC(b *testing.B) {
+	knf := mic.KNF()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig4c(s, knf) })
+}
+
+func BenchmarkFig4dBFSHost(b *testing.B) {
+	host := mic.HostXeon()
+	benchExperiment(b, func(s *core.Suite) *core.Experiment { return core.Fig4d(s, host) })
+}
+
+// --- Real parallel kernels (goroutine execution, not simulation) ---------
+
+func benchGraph(b *testing.B, name string) *Graph {
+	b.Helper()
+	g, err := SuiteGraph(name, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkKernelSeqGreedyColoring(b *testing.B) {
+	g := benchGraph(b, "hood")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := coloring.SeqGreedy(g); res.NumColors == 0 {
+			b.Fatal("no colors")
+		}
+	}
+}
+
+func BenchmarkKernelColoringTeamDynamic(b *testing.B) {
+	g := benchGraph(b, "hood")
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := coloring.ColorTeam(g, team, opts); res.NumColors == 0 {
+			b.Fatal("no colors")
+		}
+	}
+}
+
+func BenchmarkKernelColoringCilkHolder(b *testing.B) {
+	g := benchGraph(b, "hood")
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := coloring.ColorCilk(g, pool, 100, coloring.CilkHolder); res.NumColors == 0 {
+			b.Fatal("no colors")
+		}
+	}
+}
+
+func BenchmarkKernelColoringTBBSimple(b *testing.B) {
+	g := benchGraph(b, "hood")
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := coloring.ColorTBB(g, pool, sched.SimplePartitioner, 40); res.NumColors == 0 {
+			b.Fatal("no colors")
+		}
+	}
+}
+
+func BenchmarkKernelBFSSequential(b *testing.B) {
+	g := benchGraph(b, "pwtk")
+	src := int32(g.NumVertices() / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := bfs.Sequential(g, src); res.NumLevels == 0 {
+			b.Fatal("no levels")
+		}
+	}
+}
+
+func BenchmarkKernelBFSBlockRelaxed(b *testing.B) {
+	g := benchGraph(b, "pwtk")
+	src := int32(g.NumVertices() / 2)
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := bfs.BlockTeam(g, src, team, opts, 32, true); res.NumLevels == 0 {
+			b.Fatal("no levels")
+		}
+	}
+}
+
+func BenchmarkKernelBFSBag(b *testing.B) {
+	g := benchGraph(b, "pwtk")
+	src := int32(g.NumVertices() / 2)
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := bfs.BagCilk(g, src, pool, 0); res.NumLevels == 0 {
+			b.Fatal("no levels")
+		}
+	}
+}
+
+func BenchmarkKernelBFSTLS(b *testing.B) {
+	g := benchGraph(b, "pwtk")
+	src := int32(g.NumVertices() / 2)
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := bfs.TLSTeam(g, src, team, opts); res.NumLevels == 0 {
+			b.Fatal("no levels")
+		}
+	}
+}
+
+func BenchmarkKernelIrregularIter1(b *testing.B) {
+	benchIrregular(b, 1)
+}
+
+func BenchmarkKernelIrregularIter10(b *testing.B) {
+	benchIrregular(b, 10)
+}
+
+func benchIrregular(b *testing.B, iter int) {
+	g := benchGraph(b, "msdoor")
+	state := irregular.InitialState(g.NumVertices())
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := irregular.Team(g, state, iter, team, opts)
+		if out[0] < 0 {
+			b.Fatal("bad state")
+		}
+	}
+}
+
+// --- Simulator and generator benchmarks ----------------------------------
+
+func BenchmarkSimulateColoring121Threads(b *testing.B) {
+	m := mic.KNF()
+	g := benchGraph(b, "ldoor")
+	tr := mic.ColoringTrace(m, g, mic.NaturalOrder, 121)
+	cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mic.Simulate(m, cfg, 121, tr) <= 0 {
+			b.Fatal("bad time")
+		}
+	}
+}
+
+func BenchmarkTraceBuildBFS(b *testing.B) {
+	m := mic.KNF()
+	g := benchGraph(b, "ldoor")
+	src := int32(g.NumVertices() / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := mic.BFSTrace(m, g, src, mic.NaturalOrder, mic.BFSBlockRelaxed, 32)
+		if tr.NumItems() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkGenerateSuiteGraph(b *testing.B) {
+	cfg, err := gen.SuiteConfig("bmw3_2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaled := gen.Scaled(cfg, benchScale)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Mesh(scaled); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension kernels ----------------------------------------------------
+
+func BenchmarkKernelHybridBFS(b *testing.B) {
+	g := benchGraph(b, "pwtk")
+	src := int32(g.NumVertices() / 2)
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := bfs.HybridTeam(g, src, team, opts, bfs.HybridConfig{}); res.NumLevels == 0 {
+			b.Fatal("no levels")
+		}
+	}
+}
+
+func BenchmarkKernelPageRank(b *testing.B) {
+	g := benchGraph(b, "auto")
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 100}
+	cfg := irregular.PageRankOptions{MaxIter: 20, Tolerance: 1e-12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rank, _ := irregular.PageRank(g, team, opts, cfg); len(rank) == 0 {
+			b.Fatal("no ranks")
+		}
+	}
+}
+
+func BenchmarkKernelBetweenness8Sources(b *testing.B) {
+	g := benchGraph(b, "hood")
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+	sources := centrality.EverySource(g.NumVertices(), g.NumVertices()/8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bc := centrality.Sampled(g, sources, team, opts); len(bc) == 0 {
+			b.Fatal("no centrality")
+		}
+	}
+}
+
+func BenchmarkKernelComponentsLabelProp(b *testing.B) {
+	g := benchGraph(b, "msdoor")
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := components.LabelPropagation(g, team, opts); res.Count == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkKernelComponentsPointerJump(b *testing.B) {
+	g := benchGraph(b, "msdoor")
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := components.PointerJumping(g, team, opts); res.Count == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkKernelColoringSmallestLast(b *testing.B) {
+	g := benchGraph(b, "bmw3_2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order := coloring.SmallestLast(g)
+		if res := coloring.SeqGreedyOrder(g, order); res.NumColors == 0 {
+			b.Fatal("no colors")
+		}
+	}
+}
+
+func BenchmarkReorderRCM(b *testing.B) {
+	g := benchGraph(b, "hood")
+	shuffled := g.Shuffled(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if perm := RCMPermutation(shuffled); len(perm) == 0 {
+			b.Fatal("no permutation")
+		}
+	}
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	s := getBenchSuite(b)
+	knf := mic.KNF()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e := core.AblBlockSize(s, knf); len(e.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// bfsrun executes one of the parallel layered BFS variants, validates the
+// level assignment against the sequential reference, and reports the level
+// structure plus the duplicate work a relaxed variant performed.
+//
+//	bfsrun -graph pwtk -scale 4 -variant omp-block-relaxed -workers 8
+//	bfsrun -file g.mtx -variant bag -source 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"micgraph/internal/bfs"
+	"micgraph/internal/graphio"
+	"micgraph/internal/perfmodel"
+	"micgraph/internal/sched"
+)
+
+func main() {
+	var (
+		file    = flag.String("file", "", "graph file (.mtx or .bin)")
+		name    = flag.String("graph", "", "builtin suite graph name (e.g. inline_1)")
+		scale   = flag.Int("scale", 4, "suite shrink factor for -graph")
+		variant = flag.String("variant", "omp-block-relaxed",
+			"seq, omp-block, omp-block-relaxed, tbb-block, tbb-block-relaxed, bag, tls")
+		workers = flag.Int("workers", 4, "worker goroutines")
+		source  = flag.Int("source", -1, "source vertex (-1 = |V|/2 as in the paper)")
+		block   = flag.Int("block", bfs.DefaultBlockSize, "block queue block size")
+		model   = flag.Bool("model", false, "also print the §III-C achievable-speedup model")
+	)
+	flag.Parse()
+
+	g, err := graphio.Load(*file, *name, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfsrun:", err)
+		os.Exit(1)
+	}
+	src := int32(*source)
+	if src < 0 {
+		src = int32(g.NumVertices() / 2)
+	}
+	fmt.Printf("graph: %s  source: %d\n", g, src)
+
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: *block}
+	start := time.Now()
+	var res bfs.Result
+	switch *variant {
+	case "seq":
+		res = bfs.Sequential(g, src)
+	case "omp-block", "omp-block-relaxed":
+		team := sched.NewTeam(*workers)
+		defer team.Close()
+		res = bfs.BlockTeam(g, src, team, opts, *block, strings.HasSuffix(*variant, "relaxed"))
+	case "tbb-block", "tbb-block-relaxed":
+		pool := sched.NewPool(*workers)
+		defer pool.Close()
+		res = bfs.BlockTBB(g, src, pool, sched.SimplePartitioner, *block, *block,
+			strings.HasSuffix(*variant, "relaxed"))
+	case "bag":
+		pool := sched.NewPool(*workers)
+		defer pool.Close()
+		res = bfs.BagCilk(g, src, pool, 0)
+	case "tls":
+		team := sched.NewTeam(*workers)
+		defer team.Close()
+		res = bfs.TLSTeam(g, src, team, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "bfsrun: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+
+	if err := bfs.Validate(g, src, res.Levels); err != nil {
+		fmt.Fprintln(os.Stderr, "bfsrun: INVALID BFS:", err)
+		os.Exit(1)
+	}
+	var reached int64
+	maxWidth := int64(0)
+	for _, w := range res.Widths {
+		reached += w
+		if w > maxWidth {
+			maxWidth = w
+		}
+	}
+	fmt.Printf("levels: %d  reached: %d/%d  max width: %d  processed: %d  duplicates: %d  time: %v  (valid)\n",
+		res.NumLevels, reached, g.NumVertices(), maxWidth, res.Processed, res.Duplicates,
+		elapsed.Round(time.Microsecond))
+
+	if *model {
+		fmt.Println("achievable speedup (§III-C model, block =", *block, "):")
+		for _, t := range []int{1, 2, 4, 8, 13, 16, 31, 62, 124} {
+			fmt.Printf("  t=%3d  %.2f\n", t, perfmodel.Speedup(res.Widths, t, *block))
+		}
+		fmt.Printf("  t=inf  %.2f\n", perfmodel.UpperBound(res.Widths, *block))
+	}
+}

@@ -1,0 +1,124 @@
+// micbench regenerates the paper's tables and figures on the simulated
+// machines. Examples:
+//
+//	micbench -exp all            # every table and figure, paper-scale graphs
+//	micbench -exp fig2 -scale 4  # one figure on 16x smaller graphs (fast)
+//	micbench -exp fig4c -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"micgraph/internal/core"
+	"micgraph/internal/mic"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id: all, ablations, table1, fig1a..fig1c, fig2, fig3a..fig3c, fig4a..fig4d, abl-{blocksize,chunk,smt,bonus,ordering,model}, extra-{rmat,knc}")
+		scale   = flag.Int("scale", 1, "linear shrink factor for the graph suite (1 = paper sizes)")
+		csvPath = flag.String("csv", "", "also write results as CSV to this file (one file, experiments concatenated)")
+		svgDir  = flag.String("svg", "", "also write one SVG figure per experiment into this directory")
+		machine = flag.String("machine", "", "JSON file overriding the KNF machine description (see mic.SaveMachine)")
+		quiet   = flag.Bool("q", false, "suppress progress messages")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	logf("generating graph suite at scale %d ...", *scale)
+	suite, err := core.NewSuite(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "micbench:", err)
+		os.Exit(1)
+	}
+	logf("suite ready in %v", time.Since(start).Round(time.Millisecond))
+
+	knf := mic.KNF()
+	host := mic.HostXeon()
+	if *machine != "" {
+		f, err := os.Open(*machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "micbench:", err)
+			os.Exit(1)
+		}
+		knf, err = mic.LoadMachine(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "micbench:", err)
+			os.Exit(1)
+		}
+		logf("using custom machine %q (%d cores x %d SMT)", knf.Name, knf.Cores, knf.SMTWays)
+	}
+
+	var exps []*core.Experiment
+	switch *expID {
+	case "all":
+		exps = core.All(suite, knf, host)
+	case "ablations":
+		exps = core.Ablations(suite, knf)
+	default:
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := core.ByID(strings.TrimSpace(id), suite, knf, host)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "micbench:", err)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		csv, err = os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "micbench:", err)
+			os.Exit(1)
+		}
+		defer csv.Close()
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "micbench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range exps {
+		if err := core.WriteText(os.Stdout, e); err != nil {
+			fmt.Fprintln(os.Stderr, "micbench:", err)
+			os.Exit(1)
+		}
+		if csv != nil {
+			fmt.Fprintf(csv, "# %s: %s\n", e.ID, e.Title)
+			if err := core.WriteCSV(csv, e); err != nil {
+				fmt.Fprintln(os.Stderr, "micbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *svgDir != "" && len(e.Series) > 0 {
+			f, err := os.Create(filepath.Join(*svgDir, e.ID+".svg"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "micbench:", err)
+				os.Exit(1)
+			}
+			if err := core.WriteSVG(f, e); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "micbench:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+	logf("done in %v", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,77 @@
+// Approximate betweenness centrality built on the parallel BFS — the
+// paper's §I points at BFS as "a generic kernel many algorithms are based
+// on, including computationally expensive centrality measures" (Brandes).
+//
+// The heavy lifting lives in internal/centrality: the forward pass of each
+// sampled source is the paper's block-accessed relaxed-queue BFS, and the
+// path-count / dependency sweeps run level-parallel on the same team. On
+// the pwtk stand-in the generator's injected hub vertices should surface
+// with the highest centrality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"micgraph"
+	"micgraph/internal/centrality"
+	"micgraph/internal/sched"
+)
+
+func main() {
+	g, err := micgraph.SuiteGraph("pwtk", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.NumVertices()
+	fmt.Printf("graph: %s\n", g)
+
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+
+	// 24 evenly spaced BFS sources approximate the full Brandes sum.
+	sources := centrality.EverySource(n, n/24)
+	bc := centrality.Sampled(g, sources, team, opts)
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return bc[idx[a]] > bc[idx[b]] })
+	fmt.Printf("top-10 betweenness (from %d BFS samples):\n", len(sources))
+	for r := 0; r < 10 && r < n; r++ {
+		v := idx[r]
+		fmt.Printf("  #%2d vertex %6d  bc=%10.1f  degree=%d\n", r+1, v, bc[v], g.Degree(int32(v)))
+	}
+
+	med := bc[idx[n/2]]
+	if bc[idx[0]] <= med {
+		log.Fatal("no centrality contrast — something is wrong")
+	}
+	if med < 1 {
+		med = 1
+	}
+	fmt.Printf("contrast: top vertex %.0fx the median centrality\n", bc[idx[0]]/med)
+
+	// On a small slice of the graph, cross-check the sampled estimator
+	// against exact Brandes (all sources ⇒ exactly 2x the exact values).
+	small, err := micgraph.SuiteGraph("hood", 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := centrality.Exact(small)
+	approx := centrality.Sampled(small, centrality.AllSources(small.NumVertices()), team, opts)
+	worst := 0.0
+	for v := range exact {
+		d := approx[v] - 2*exact[v]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("validation vs exact Brandes on %s: max abs deviation %.2e\n", small, worst)
+}

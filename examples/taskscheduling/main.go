@@ -1,0 +1,117 @@
+// Task scheduling via graph coloring — the paper's §I motivating
+// application: "represent the tasks of a computation as the vertices of a
+// graph, and an edge connects two vertices if these two vertices cannot be
+// computed simultaneously. Finding a coloring of this graph allows to
+// partition the tasks into sets that can be safely computed in parallel.
+// Minimizing the number of colors decreases the number of synchronization
+// points."
+//
+// We build the conflict graph of a 2D stencil update (tasks touching the
+// same cell conflict), color it with the parallel speculative algorithm,
+// then actually execute the tasks phase by phase on a worker team and
+// verify that no two conflicting tasks ever ran concurrently.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"micgraph"
+	"micgraph/internal/coloring"
+	"micgraph/internal/sched"
+)
+
+const side = 96 // tasks form a side×side stencil grid
+
+func main() {
+	// Task i updates cell (x,y) reading its 4 neighbors: tasks conflict if
+	// they are adjacent in the grid (distance-1 coloring of the grid graph
+	// plus diagonals would be distance-2; the classic red-black/stencil
+	// conflict graph is the 8-neighborhood).
+	n := side * side
+	var edges []micgraph.Edge
+	id := func(x, y int) int32 { return int32(y*side + x) }
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					nx, ny := x+dx, y+dy
+					if nx < 0 || nx >= side || ny < 0 || ny >= side {
+						continue
+					}
+					if id(x, y) < id(nx, ny) {
+						edges = append(edges, micgraph.Edge{U: id(x, y), V: id(nx, ny)})
+					}
+				}
+			}
+		}
+	}
+	conflict, err := micgraph.NewGraph(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conflict graph: %s\n", conflict)
+
+	res, err := micgraph.ParallelColoring(conflict, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("colored %d tasks with %d colors in %d speculative rounds\n",
+		n, res.NumColors, res.Rounds)
+
+	// Partition tasks into phases by color.
+	phases := make([][]int32, res.NumColors)
+	for v, c := range res.Colors {
+		phases[c-1] = append(phases[c-1], int32(v))
+	}
+
+	// Execute: each phase's tasks run concurrently on the team; the cells
+	// array is the shared state. A task "executes" by bumping its cell and
+	// snapshotting neighbors; the running flags prove mutual exclusion of
+	// conflicting tasks.
+	team := sched.NewTeam(4)
+	defer team.Close()
+	cells := make([]int64, n)
+	running := make([]atomic.Bool, n)
+	violations := atomic.Int64{}
+
+	for _, tasks := range phases {
+		tasks := tasks
+		team.For(len(tasks), sched.ForOptions{Policy: sched.Dynamic, Chunk: 8},
+			func(lo, hi, w int) {
+				for i := lo; i < hi; i++ {
+					v := tasks[i]
+					running[v].Store(true)
+					// A conflicting neighbor running now would be a data race
+					// on the stencil cells — count it.
+					for _, u := range conflict.Adj(v) {
+						if running[u].Load() {
+							violations.Add(1)
+						}
+					}
+					sum := cells[v]
+					for _, u := range conflict.Adj(v) {
+						sum += cells[u]
+					}
+					cells[v] = sum/int64(conflict.Degree(v)+1) + 1
+					running[v].Store(false)
+				}
+			})
+	}
+	if v := violations.Load(); v != 0 {
+		log.Fatalf("%d conflicting tasks overlapped — coloring failed!", v)
+	}
+	fmt.Printf("executed %d tasks in %d synchronized phases, zero conflicts observed\n",
+		n, len(phases))
+	fmt.Printf("synchronization points: %d (vs %d for one-task-at-a-time)\n",
+		len(phases), n)
+
+	// For comparison: a sequential greedy coloring gives the same phase
+	// count on this structured graph.
+	seq := coloring.SeqGreedy(conflict)
+	fmt.Printf("sequential greedy would use %d colors\n", seq.NumColors)
+}

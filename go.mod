@@ -1,0 +1,3 @@
+module micgraph
+
+go 1.22

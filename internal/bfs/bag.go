@@ -1,0 +1,231 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/sched"
+)
+
+// Pennant bag (Leiserson & Schardl, SPAA 2010): a bag is an array of
+// pennants, at most one of rank k for each k, where a rank-k pennant holds
+// 2^k tree nodes. Two rank-k pennants union into one rank-(k+1) pennant in
+// O(1), so bag merge works like binary carry addition ("an algorithm
+// similar to carry-add for integer addition", §IV-C). Each node stores up
+// to grain vertices (the paper's grainsize), which amortises both pointer
+// chasing and task-spawn overhead during traversal.
+
+// pennantNode is one node of a pennant tree.
+type pennantNode struct {
+	items       []int32
+	left, right *pennantNode
+}
+
+// pennantUnion combines two pennants of equal rank into one of rank+1.
+func pennantUnion(x, y *pennantNode) *pennantNode {
+	y.right = x.left
+	x.left = y
+	return x
+}
+
+// pennantSplit undoes a union: it detaches and returns a pennant of one
+// rank lower, leaving x also one rank lower.
+func pennantSplit(x *pennantNode) *pennantNode {
+	y := x.left
+	x.left = y.right
+	y.right = nil
+	return y
+}
+
+// Bag is an unordered multiset of vertices supporting O(1) amortised
+// insertion, O(log n) merge, and parallel traversal.
+type Bag struct {
+	pennants []*pennantNode // pennants[k] has rank k (2^k nodes) or is nil
+	grain    int
+}
+
+// NewBag creates an empty bag whose nodes hold up to grain vertices each.
+func NewBag(grain int) *Bag {
+	if grain < 1 {
+		grain = 1
+	}
+	return &Bag{grain: grain}
+}
+
+// insertPennant adds a rank-k pennant with carry propagation.
+func (b *Bag) insertPennant(p *pennantNode, k int) {
+	for {
+		for len(b.pennants) <= k {
+			b.pennants = append(b.pennants, nil)
+		}
+		if b.pennants[k] == nil {
+			b.pennants[k] = p
+			return
+		}
+		p = pennantUnion(b.pennants[k], p)
+		b.pennants[k] = nil
+		k++
+	}
+}
+
+// InsertChunk adds a full node of vertices as a rank-0 pennant. The slice is
+// retained; callers must hand over ownership.
+func (b *Bag) InsertChunk(items []int32) {
+	if len(items) == 0 {
+		return
+	}
+	b.insertPennant(&pennantNode{items: items}, 0)
+}
+
+// Merge absorbs other into b (carry addition over the pennant arrays);
+// other becomes empty.
+func (b *Bag) Merge(other *Bag) {
+	for k, p := range other.pennants {
+		if p != nil {
+			b.insertPennant(p, k)
+		}
+	}
+	other.pennants = other.pennants[:0]
+}
+
+// Empty reports whether the bag holds no vertices.
+func (b *Bag) Empty() bool {
+	for _, p := range b.pennants {
+		if p != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of stored vertices (walks the trees; O(nodes)).
+func (b *Bag) Count() int64 {
+	var total int64
+	for _, p := range b.pennants {
+		total += countNode(p)
+	}
+	return total
+}
+
+func countNode(n *pennantNode) int64 {
+	if n == nil {
+		return 0
+	}
+	return int64(len(n.items)) + countNode(n.left) + countNode(n.right)
+}
+
+// walkNode traverses a pennant subtree, spawning the children as tasks and
+// applying visit to each node's chunk — the bag's parallel traversal.
+func walkNode(c *sched.Ctx, n *pennantNode, visit func(c *sched.Ctx, items []int32)) {
+	for n != nil {
+		if n.left != nil {
+			left := n.left
+			c.Spawn(func(cc *sched.Ctx) { walkNode(cc, left, visit) })
+		}
+		visit(c, n.items)
+		n = n.right
+	}
+}
+
+// Walk applies visit to every chunk of the bag in parallel on the pool.
+func (b *Bag) Walk(pool *sched.Pool, visit func(c *sched.Ctx, items []int32)) {
+	pool.Run(func(c *sched.Ctx) {
+		for _, p := range b.pennants {
+			if p != nil {
+				p := p
+				c.Spawn(func(cc *sched.Ctx) { walkNode(cc, p, visit) })
+			}
+		}
+	})
+}
+
+// bagBuilder accumulates next-level vertices per worker: a hopper chunk that
+// is inserted into the worker's private bag when full (no synchronisation on
+// the hot path, like the reducer views in the Cilk original).
+type bagBuilder struct {
+	hopper []int32
+	bag    *Bag
+	count  int64
+}
+
+func (bb *bagBuilder) push(v int32, grain int) {
+	if bb.bag == nil {
+		bb.bag = NewBag(grain)
+	}
+	if cap(bb.hopper) == 0 {
+		bb.hopper = make([]int32, 0, grain)
+	}
+	bb.hopper = append(bb.hopper, v)
+	bb.count++
+	if len(bb.hopper) == cap(bb.hopper) {
+		bb.bag.InsertChunk(bb.hopper)
+		bb.hopper = make([]int32, 0, grain)
+	}
+}
+
+func (bb *bagBuilder) finish() *Bag {
+	if bb.bag == nil {
+		bb.bag = NewBag(1)
+	}
+	if len(bb.hopper) > 0 {
+		bb.bag.InsertChunk(bb.hopper)
+		bb.hopper = nil
+	}
+	return bb.bag
+}
+
+// DefaultBagGrain matches the grainsize regime of the original code.
+const DefaultBagGrain = 128
+
+// BagCilk runs layered BFS with pennant bags on the work-stealing pool (the
+// paper's CilkPlus-Bag-relaxed): relaxed insertion into per-worker bags,
+// merged at each level barrier, traversed by recursive task spawning.
+func BagCilk(g *graph.Graph, source int32, pool *sched.Pool, grain int) Result {
+	if grain <= 0 {
+		grain = DefaultBagGrain
+	}
+	n := g.NumVertices()
+	levels := makeLevels(n)
+	res := Result{Levels: levels}
+	if n == 0 {
+		return res
+	}
+	levels[source] = 0
+
+	cur := NewBag(grain)
+	cur.InsertChunk([]int32{source})
+
+	var processed int64
+	maxLevel := int32(0)
+	for lv := int32(1); !cur.Empty(); lv++ {
+		maxLevel = lv - 1
+		builders := make([]bagBuilder, pool.Workers())
+		var levelProcessed atomic.Int64
+		cur.Walk(pool, func(c *sched.Ctx, items []int32) {
+			bb := &builders[c.Worker()]
+			for _, v := range items {
+				for _, w := range g.Adj(v) {
+					if claimRelaxed(levels, w, lv) {
+						bb.push(w, grain)
+					}
+				}
+			}
+			levelProcessed.Add(int64(len(items)))
+		})
+		processed += levelProcessed.Load()
+		next := NewBag(grain)
+		for i := range builders {
+			next.Merge(builders[i].finish())
+		}
+		cur = next
+	}
+	res.NumLevels = int(maxLevel) + 1
+	res.Processed = processed
+	res.Widths = widthsOf(levels, res.NumLevels)
+	var reached int64
+	for _, w := range res.Widths {
+		reached += w
+	}
+	res.Duplicates = processed - reached
+	return res
+}

@@ -1,0 +1,136 @@
+package bfs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sentinel fills the unconsumed tail of a partially used block, so the
+// vertex-visit loop can skip it ("we fill the remaining of the block with a
+// sentinel value (an invalid vertex ID, such as -1)", §IV-C).
+const Sentinel int32 = -1
+
+// BlockQueue is the paper's block-accessed shared queue: a contiguous array
+// in which each worker reserves fixed-size blocks with an atomic fetch-and-
+// add of the shared index pointer, then fills its block privately. Partially
+// filled blocks are padded with Sentinel.
+//
+// Relaxed insertion can (rarely) produce more entries than the queue's
+// nominal capacity; instead of growing the shared array under concurrent
+// readers, overflowing workers divert to private spill slices that are
+// drained alongside the main array. This keeps the hot path identical to
+// the paper's while making the structure safe for any input.
+type BlockQueue struct {
+	buf       []int32
+	blockSize int
+	next      atomic.Int64 // next unreserved position in buf
+
+	spillMu sync.Mutex
+	spill   []int32
+}
+
+// NewBlockQueue creates a queue backed by capacity slots with the given
+// block size (the paper's best-performing value is 32).
+func NewBlockQueue(capacity, blockSize int) *BlockQueue {
+	if blockSize < 1 {
+		panic("bfs: block size must be >= 1")
+	}
+	if capacity < blockSize {
+		capacity = blockSize
+	}
+	return &BlockQueue{buf: make([]int32, capacity), blockSize: blockSize}
+}
+
+// Reset empties the queue for reuse in the next level.
+func (q *BlockQueue) Reset() {
+	q.next.Store(0)
+	q.spill = q.spill[:0]
+}
+
+// Len returns the number of reserved slots (including sentinel padding)
+// plus spilled entries. Only meaningful after all writers flushed.
+func (q *BlockQueue) Len() int {
+	n := int(q.next.Load())
+	if n > len(q.buf) {
+		n = len(q.buf)
+	}
+	return n + len(q.spill)
+}
+
+// Entries returns the filled portion of the main array and the spill slice.
+// Entries equal to Sentinel must be skipped. Call only after all writers
+// have flushed (i.e. between levels).
+func (q *BlockQueue) Entries() (main, spill []int32) {
+	n := int(q.next.Load())
+	if n > len(q.buf) {
+		n = len(q.buf)
+	}
+	return q.buf[:n], q.spill
+}
+
+// Writer is one worker's private cursor into the queue. The zero value is
+// not usable; obtain writers with NewWriter. A Writer must be flushed when
+// its level's production ends.
+type Writer struct {
+	q          *BlockQueue
+	pos, end   int64
+	local      []int32 // spill accumulation once buf is exhausted
+	spilling   bool
+	BlockGrabs int64 // number of atomic block reservations (for reporting)
+}
+
+// NewWriter returns a fresh cursor with no reserved block.
+func (q *BlockQueue) NewWriter() *Writer {
+	return &Writer{q: q}
+}
+
+// Push appends v to the queue.
+func (w *Writer) Push(v int32) {
+	if w.spilling {
+		w.local = append(w.local, v)
+		return
+	}
+	if w.pos == w.end {
+		if !w.grabBlock() {
+			w.spilling = true
+			w.local = append(w.local, v)
+			return
+		}
+	}
+	w.q.buf[w.pos] = v
+	w.pos++
+}
+
+// grabBlock reserves the next block with an atomic fetch-and-add. It
+// reports false when the backing array is exhausted.
+func (w *Writer) grabBlock() bool {
+	q := w.q
+	start := q.next.Add(int64(q.blockSize)) - int64(q.blockSize)
+	if start >= int64(len(q.buf)) {
+		return false
+	}
+	w.BlockGrabs++
+	w.pos = start
+	w.end = start + int64(q.blockSize)
+	if w.end > int64(len(q.buf)) {
+		w.end = int64(len(q.buf))
+	}
+	return true
+}
+
+// Flush pads the unused remainder of the current block with Sentinel and
+// publishes any spilled entries. Must be called once per level per writer,
+// after which the Writer is ready for the next level.
+func (w *Writer) Flush() {
+	for ; w.pos < w.end; w.pos++ {
+		w.q.buf[w.pos] = Sentinel
+	}
+	w.pos, w.end = 0, 0
+	if len(w.local) > 0 {
+		w.q.spillMu.Lock()
+		w.q.spill = append(w.q.spill, w.local...)
+		w.q.spillMu.Unlock()
+		w.local = w.local[:0]
+	}
+	w.spilling = false
+}

@@ -1,0 +1,136 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/sched"
+)
+
+// Direction-optimizing (top-down/bottom-up) BFS — the natural extension of
+// the paper's layered algorithm for the wide-frontier levels its model
+// identifies as the parallel bulk: when the frontier is a large fraction of
+// the graph, it is cheaper to iterate over *unvisited* vertices asking "is
+// any of my neighbors on the frontier?" (one hit suffices) than to expand
+// every frontier edge. The switching rule follows Beamer's heuristic: go
+// bottom-up when the frontier's outgoing edges exceed the unexplored edges
+// divided by alpha, return top-down when the frontier shrinks below
+// |V|/beta.
+
+// HybridConfig tunes the direction switch; zero values select the
+// published defaults (alpha 14, beta 24).
+type HybridConfig struct {
+	Alpha int // top-down -> bottom-up threshold divisor
+	Beta  int // bottom-up -> top-down threshold divisor
+}
+
+func (c HybridConfig) alpha() int64 {
+	if c.Alpha <= 0 {
+		return 14
+	}
+	return int64(c.Alpha)
+}
+
+func (c HybridConfig) beta() int64 {
+	if c.Beta <= 0 {
+		return 24
+	}
+	return int64(c.Beta)
+}
+
+// HybridResult extends Result with direction statistics.
+type HybridResult struct {
+	Result
+	TopDownLevels  int
+	BottomUpLevels int
+}
+
+// HybridTeam runs the direction-optimizing layered BFS on a Team. The level
+// assignment is identical to every other variant (validated against the
+// sequential reference); only the per-level work differs.
+func HybridTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, cfg HybridConfig) HybridResult {
+	n := g.NumVertices()
+	levels := makeLevels(n)
+	res := HybridResult{Result: Result{Levels: levels}}
+	if n == 0 {
+		return res
+	}
+	levels[source] = 0
+
+	cur := []int32{source}
+	next := make([]int32, 0, 1024)
+	locals := make([][]int32, team.Workers())
+	unexploredEdges := g.NumArcs()
+	maxLevel := int32(0)
+	bottomUp := false
+	prevFrontier := 0
+
+	for lv := int32(1); len(cur) > 0; lv++ {
+		maxLevel = lv - 1
+		res.Processed += int64(len(cur))
+
+		// Beamer's switching heuristic with hysteresis: enter bottom-up
+		// when a *growing* frontier's outgoing edges exceed the unexplored
+		// edges / alpha; return to top-down once the frontier shrinks
+		// below |V| / beta.
+		var frontierEdges int64
+		for _, v := range cur {
+			frontierEdges += int64(g.Degree(v))
+		}
+		unexploredEdges -= frontierEdges
+		growing := len(cur) > prevFrontier
+		prevFrontier = len(cur)
+		if !bottomUp {
+			bottomUp = growing && frontierEdges > unexploredEdges/cfg.alpha()
+		} else {
+			bottomUp = int64(len(cur)) >= int64(n)/cfg.beta()
+		}
+
+		for w := range locals {
+			locals[w] = locals[w][:0]
+		}
+		if bottomUp {
+			res.BottomUpLevels++
+			// Sweep all vertices; claim those with a frontier neighbor.
+			team.For(n, opts, func(lo, hi, w int) {
+				local := locals[w]
+				for v := lo; v < hi; v++ {
+					if atomic.LoadInt32(&levels[v]) != Unvisited {
+						continue
+					}
+					for _, u := range g.Adj(int32(v)) {
+						if atomic.LoadInt32(&levels[u]) == lv-1 {
+							atomic.StoreInt32(&levels[v], lv)
+							local = append(local, int32(v))
+							break
+						}
+					}
+				}
+				locals[w] = local
+			})
+		} else {
+			res.TopDownLevels++
+			curSnapshot := cur
+			team.For(len(curSnapshot), opts, func(lo, hi, w int) {
+				local := locals[w]
+				for i := lo; i < hi; i++ {
+					for _, u := range g.Adj(curSnapshot[i]) {
+						if claimLocked(levels, u, lv) {
+							local = append(local, u)
+						}
+					}
+				}
+				locals[w] = local
+			})
+		}
+
+		next = next[:0]
+		for _, local := range locals {
+			next = append(next, local...)
+		}
+		cur, next = next, cur
+	}
+	res.NumLevels = int(maxLevel) + 1
+	res.Widths = widthsOf(levels, res.NumLevels)
+	return res
+}

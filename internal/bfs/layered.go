@@ -1,0 +1,217 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/sched"
+)
+
+// Layered parallel BFS (Algorithm 7) over block-accessed queues, in the
+// OpenMP (Team) and TBB (Pool + partitioner) flavours. The two variants per
+// runtime differ in how a vertex is claimed for the next level:
+//
+//   - locked: compare-and-swap on the level word; exactly-once insertion;
+//   - relaxed: plain check-then-store (via atomics for Go memory-model
+//     sanity); duplicates possible and benign (§III-C, Leiserson–Schardl).
+
+// DefaultBlockSize is the queue block size that performed best in the
+// paper's experiments ("we used as block size the one that yields the best
+// performance in our implementation (32 in this case)", §V-D).
+const DefaultBlockSize = 32
+
+// claimLocked claims w for level lv exactly once.
+func claimLocked(levels []int32, w int32, lv int32) bool {
+	return atomic.CompareAndSwapInt32(&levels[w], Unvisited, lv)
+}
+
+// claimRelaxed claims w for level lv without synchronisation between check
+// and store; concurrent claimers may all succeed ("whichever wins the race
+// leads to the same values in memory").
+func claimRelaxed(levels []int32, w int32, lv int32) bool {
+	if atomic.LoadInt32(&levels[w]) == Unvisited {
+		atomic.StoreInt32(&levels[w], lv)
+		return true
+	}
+	return false
+}
+
+// queuePair holds the current and next level queues plus the shared level
+// state of one BFS run.
+type queuePair struct {
+	g         *graph.Graph
+	levels    []int32
+	cur, next *BlockQueue
+	relaxed   bool
+}
+
+func newQueuePair(g *graph.Graph, workers, blockSize int, relaxed bool) *queuePair {
+	n := g.NumVertices()
+	// Nominal capacity: every vertex once, plus one partially filled block
+	// per worker. Relaxed duplicates beyond that overflow to the spill path.
+	capacity := n + workers*blockSize
+	return &queuePair{
+		g:       g,
+		levels:  makeLevels(n),
+		cur:     NewBlockQueue(capacity, blockSize),
+		next:    NewBlockQueue(capacity, blockSize),
+		relaxed: relaxed,
+	}
+}
+
+func makeLevels(n int) []int32 {
+	levels := make([]int32, n)
+	for i := range levels {
+		levels[i] = Unvisited
+	}
+	return levels
+}
+
+// seed places the source in cur.
+func (qp *queuePair) seed(source int32) {
+	qp.levels[source] = 0
+	w := qp.cur.NewWriter()
+	w.Push(source)
+	w.Flush()
+}
+
+// processEntry scans entry i of (main, spill), expanding its neighbors into
+// wr. Returns 1 if the entry was a real vertex, 0 for sentinel padding.
+func (qp *queuePair) processEntry(main, spill []int32, i int, lv int32, wr *Writer) int64 {
+	var v int32
+	if i < len(main) {
+		v = main[i]
+	} else {
+		v = spill[i-len(main)]
+	}
+	if v == Sentinel {
+		return 0
+	}
+	g := qp.g
+	if qp.relaxed {
+		for _, w := range g.Adj(v) {
+			if claimRelaxed(qp.levels, w, lv) {
+				wr.Push(w)
+			}
+		}
+	} else {
+		for _, w := range g.Adj(v) {
+			if claimLocked(qp.levels, w, lv) {
+				wr.Push(w)
+			}
+		}
+	}
+	return 1
+}
+
+// finish computes the Result bookkeeping after the level loop.
+func (qp *queuePair) finish(processed int64, maxLevel int32) Result {
+	res := Result{
+		Levels:    qp.levels,
+		NumLevels: int(maxLevel) + 1,
+		Processed: processed,
+	}
+	res.Widths = widthsOf(qp.levels, res.NumLevels)
+	var reached int64
+	for _, w := range res.Widths {
+		reached += w
+	}
+	res.Duplicates = processed - reached
+	return res
+}
+
+// BlockTeam runs layered BFS with the block-accessed queue on an
+// OpenMP-style Team (the paper's OpenMP-Block / OpenMP-Block-relaxed).
+func BlockTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, blockSize int, relaxed bool) Result {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	qp := newQueuePair(g, team.Workers(), blockSize, relaxed)
+	if g.NumVertices() == 0 {
+		return qp.finish(0, 0)
+	}
+	qp.seed(source)
+
+	writers := make([]*Writer, team.Workers())
+	processedBy := make([]int64, team.Workers())
+
+	var processed int64
+	maxLevel := int32(0)
+	for lv := int32(1); ; lv++ {
+		main, spill := qp.cur.Entries()
+		total := len(main) + len(spill)
+		if total == 0 {
+			break
+		}
+		maxLevel = lv - 1
+		for w := range writers {
+			writers[w] = qp.next.NewWriter()
+			processedBy[w] = 0
+		}
+		team.For(total, opts, func(lo, hi, w int) {
+			wr := writers[w]
+			var count int64
+			for i := lo; i < hi; i++ {
+				count += qp.processEntry(main, spill, i, lv, wr)
+			}
+			processedBy[w] += count
+		})
+		for w := range writers {
+			writers[w].Flush()
+			processed += processedBy[w]
+		}
+		qp.cur, qp.next = qp.next, qp.cur
+		qp.next.Reset()
+	}
+	return qp.finish(processed, maxLevel)
+}
+
+// BlockTBB runs layered BFS with the block-accessed queue on TBB-style
+// partitioned ranges (the paper's TBB-Block / TBB-Block-relaxed; the paper
+// reports the simple partitioner).
+func BlockTBB(g *graph.Graph, source int32, pool *sched.Pool, part sched.Partitioner, grain, blockSize int, relaxed bool) Result {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	qp := newQueuePair(g, pool.Workers(), blockSize, relaxed)
+	if g.NumVertices() == 0 {
+		return qp.finish(0, 0)
+	}
+	qp.seed(source)
+
+	writers := make([]*Writer, pool.Workers())
+	counts := sched.NewCombinable(pool.Workers(), func() int64 { return 0 })
+	var aff sched.AffinityState
+
+	var processed int64
+	maxLevel := int32(0)
+	for lv := int32(1); ; lv++ {
+		main, spill := qp.cur.Entries()
+		total := len(main) + len(spill)
+		if total == 0 {
+			break
+		}
+		maxLevel = lv - 1
+		for w := range writers {
+			writers[w] = qp.next.NewWriter()
+		}
+		before := counts.Combine(0, addInt64)
+		sched.ParallelForRange(pool, sched.Range{Lo: 0, Hi: total, Grain: grain}, part, &aff,
+			func(lo, hi int, c *sched.Ctx) {
+				wr := writers[c.Worker()]
+				local := counts.Local(c)
+				for i := lo; i < hi; i++ {
+					*local += qp.processEntry(main, spill, i, lv, wr)
+				}
+			})
+		for w := range writers {
+			writers[w].Flush()
+		}
+		processed = counts.Combine(0, addInt64) - before + processed
+		qp.cur, qp.next = qp.next, qp.cur
+		qp.next.Reset()
+	}
+	return qp.finish(processed, maxLevel)
+}
+
+func addInt64(a, b int64) int64 { return a + b }

@@ -1,0 +1,99 @@
+package bfs
+
+import (
+	"fmt"
+
+	"micgraph/internal/graph"
+)
+
+// Parent-tree construction and Graph 500-style validation. The paper points
+// at the Graph 500 benchmark as the reason BFS is "one of the reference
+// graph algorithms"; Graph 500 validates a BFS by checking the parent tree
+// rather than the levels, so we provide both representations.
+
+// NoParent marks unreachable vertices in a parent array.
+const NoParent int32 = -1
+
+// Parents derives a valid BFS parent tree from a level assignment: each
+// reachable non-source vertex gets its minimum-id neighbor one level closer
+// to the source; the source is its own parent.
+func Parents(g *graph.Graph, source int32, levels []int32) []int32 {
+	n := g.NumVertices()
+	parents := make([]int32, n)
+	for v := 0; v < n; v++ {
+		parents[v] = NoParent
+	}
+	if n == 0 {
+		return parents
+	}
+	parents[source] = source
+	for v := 0; v < n; v++ {
+		lv := levels[v]
+		if lv <= 0 {
+			continue
+		}
+		for _, w := range g.Adj(int32(v)) {
+			if levels[w] == lv-1 {
+				parents[v] = w
+				break // adjacency is sorted: first hit is the min id
+			}
+		}
+	}
+	return parents
+}
+
+// ValidateParents performs the Graph 500 BFS checks on a parent tree:
+//
+//  1. the source is its own parent;
+//  2. every parent edge exists in the graph;
+//  3. following parents from any reachable vertex terminates at the source
+//     (the tree has no cycles) with exactly level[v] steps;
+//  4. vertices with a parent are exactly those with a level, and each
+//     vertex's level is one more than its parent's.
+func ValidateParents(g *graph.Graph, source int32, parents, levels []int32) error {
+	n := g.NumVertices()
+	if len(parents) != n || len(levels) != n {
+		return fmt.Errorf("bfs: parent/level arrays sized %d/%d for %d vertices", len(parents), len(levels), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if parents[source] != source {
+		return fmt.Errorf("bfs: source parent = %d, want itself", parents[source])
+	}
+	for v := 0; v < n; v++ {
+		p := parents[v]
+		switch {
+		case p == NoParent:
+			if levels[v] != Unvisited {
+				return fmt.Errorf("bfs: vertex %d has level %d but no parent", v, levels[v])
+			}
+		case int32(v) == source:
+		default:
+			if levels[v] == Unvisited {
+				return fmt.Errorf("bfs: vertex %d has parent %d but no level", v, p)
+			}
+			if !g.HasEdge(int32(v), p) {
+				return fmt.Errorf("bfs: parent edge (%d,%d) not in graph", v, p)
+			}
+			if levels[p] != levels[v]-1 {
+				return fmt.Errorf("bfs: vertex %d at level %d has parent %d at level %d",
+					v, levels[v], p, levels[p])
+			}
+		}
+	}
+	// Cycle check: walking parents must reach the source in level[v] steps.
+	for v := 0; v < n; v++ {
+		if parents[v] == NoParent || int32(v) == source {
+			continue
+		}
+		cur := int32(v)
+		for steps := levels[v]; steps > 0; steps-- {
+			cur = parents[cur]
+		}
+		if cur != source {
+			return fmt.Errorf("bfs: parent walk from %d ends at %d, not the source", v, cur)
+		}
+	}
+	return nil
+}

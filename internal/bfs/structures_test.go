@@ -1,0 +1,218 @@
+package bfs
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"micgraph/internal/sched"
+)
+
+func TestBlockQueueSingleWriter(t *testing.T) {
+	q := NewBlockQueue(100, 8)
+	w := q.NewWriter()
+	for v := int32(0); v < 20; v++ {
+		w.Push(v)
+	}
+	w.Flush()
+	main, spill := q.Entries()
+	if len(spill) != 0 {
+		t.Errorf("unexpected spill of %d", len(spill))
+	}
+	// 20 values in blocks of 8 -> 3 blocks reserved = 24 slots, 4 sentinels.
+	if len(main) != 24 {
+		t.Errorf("reserved %d slots, want 24", len(main))
+	}
+	var got []int32
+	sentinels := 0
+	for _, v := range main {
+		if v == Sentinel {
+			sentinels++
+		} else {
+			got = append(got, v)
+		}
+	}
+	if len(got) != 20 || sentinels != 4 {
+		t.Errorf("%d values + %d sentinels, want 20 + 4", len(got), sentinels)
+	}
+	if w.BlockGrabs != 3 {
+		t.Errorf("BlockGrabs = %d, want 3", w.BlockGrabs)
+	}
+}
+
+func TestBlockQueueConcurrentWritersNoLoss(t *testing.T) {
+	const workers, perWorker = 8, 1000
+	q := NewBlockQueue(workers*perWorker+workers*16, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wr := q.NewWriter()
+			for i := 0; i < perWorker; i++ {
+				wr.Push(int32(w*perWorker + i))
+			}
+			wr.Flush()
+		}()
+	}
+	wg.Wait()
+	main, spill := q.Entries()
+	seen := make(map[int32]bool)
+	for _, v := range append(append([]int32{}, main...), spill...) {
+		if v == Sentinel {
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("value %d appears twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != workers*perWorker {
+		t.Errorf("recovered %d values, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestBlockQueueSpillOverflow(t *testing.T) {
+	// Capacity for only one block: everything after it must spill, not drop.
+	q := NewBlockQueue(4, 4)
+	w := q.NewWriter()
+	for v := int32(0); v < 50; v++ {
+		w.Push(v)
+	}
+	w.Flush()
+	main, spill := q.Entries()
+	total := 0
+	for _, v := range main {
+		if v != Sentinel {
+			total++
+		}
+	}
+	total += len(spill)
+	if total != 50 {
+		t.Errorf("recovered %d of 50 pushed values after overflow", total)
+	}
+}
+
+func TestBlockQueueResetReuse(t *testing.T) {
+	q := NewBlockQueue(64, 8)
+	for round := 0; round < 3; round++ {
+		w := q.NewWriter()
+		for v := int32(0); v < 10; v++ {
+			w.Push(v)
+		}
+		w.Flush()
+		if q.Len() == 0 {
+			t.Fatal("queue empty after pushes")
+		}
+		q.Reset()
+		if q.Len() != 0 {
+			t.Fatal("queue not empty after Reset")
+		}
+	}
+}
+
+func TestBlockQueuePanicsOnBadBlockSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for block size 0")
+		}
+	}()
+	NewBlockQueue(10, 0)
+}
+
+func TestPennantUnionSplit(t *testing.T) {
+	mk := func(rank int) *pennantNode {
+		// Build a rank-`rank` pennant by repeated union of singletons.
+		nodes := make([]*pennantNode, 1<<rank)
+		for i := range nodes {
+			nodes[i] = &pennantNode{items: []int32{int32(i)}}
+		}
+		for len(nodes) > 1 {
+			var next []*pennantNode
+			for i := 0; i < len(nodes); i += 2 {
+				next = append(next, pennantUnion(nodes[i], nodes[i+1]))
+			}
+			nodes = next
+		}
+		return nodes[0]
+	}
+	p := mk(4)
+	if n := countNode(p); n != 16 {
+		t.Fatalf("rank-4 pennant holds %d items, want 16", n)
+	}
+	y := pennantSplit(p)
+	if countNode(p) != 8 || countNode(y) != 8 {
+		t.Errorf("split sizes %d + %d, want 8 + 8", countNode(p), countNode(y))
+	}
+	back := pennantUnion(p, y)
+	if countNode(back) != 16 {
+		t.Errorf("re-union holds %d, want 16", countNode(back))
+	}
+}
+
+func TestBagInsertMergeCount(t *testing.T) {
+	property := func(aRaw, bRaw uint16) bool {
+		na, nb := int(aRaw%500), int(bRaw%500)
+		a, b := NewBag(4), NewBag(4)
+		for i := 0; i < na; i++ {
+			a.InsertChunk([]int32{int32(i)})
+		}
+		for i := 0; i < nb; i++ {
+			b.InsertChunk([]int32{int32(1000 + i)})
+		}
+		if a.Count() != int64(na) || b.Count() != int64(nb) {
+			return false
+		}
+		a.Merge(b)
+		return a.Count() == int64(na+nb) && b.Empty()
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBagWalkVisitsAll(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	bag := NewBag(8)
+	const n = 1234
+	var chunk []int32
+	for i := int32(0); i < n; i++ {
+		chunk = append(chunk, i)
+		if len(chunk) == 8 {
+			bag.InsertChunk(chunk)
+			chunk = nil
+		}
+	}
+	bag.InsertChunk(chunk)
+
+	var mu sync.Mutex
+	seen := make(map[int32]int)
+	bag.Walk(pool, func(c *sched.Ctx, items []int32) {
+		mu.Lock()
+		for _, v := range items {
+			seen[v]++
+		}
+		mu.Unlock()
+	})
+	if len(seen) != n {
+		t.Fatalf("visited %d distinct values, want %d", len(seen), n)
+	}
+	for v, times := range seen {
+		if times != 1 {
+			t.Fatalf("value %d visited %d times", v, times)
+		}
+	}
+}
+
+func TestBagEmpty(t *testing.T) {
+	b := NewBag(4)
+	if !b.Empty() || b.Count() != 0 {
+		t.Error("fresh bag not empty")
+	}
+	b.InsertChunk(nil) // inserting nothing keeps it empty
+	if !b.Empty() {
+		t.Error("empty chunk made bag non-empty")
+	}
+}

@@ -1,0 +1,69 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/sched"
+)
+
+// TLSTeam runs the SNAP v0.4-style layered BFS (the paper's OpenMP-TLS):
+// each thread accumulates next-level vertices in a thread-local queue to
+// avoid shared-queue synchronisation, the local queues are concatenated into
+// a global queue at each level barrier, and a vertex is "locked" before
+// insertion so it enters exactly one local queue. The paper's small
+// improvement is included: the level is checked before attempting the lock,
+// skipping the expensive operation for already-visited vertices.
+func TLSTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions) Result {
+	n := g.NumVertices()
+	levels := makeLevels(n)
+	res := Result{Levels: levels}
+	if n == 0 {
+		return res
+	}
+	levels[source] = 0
+
+	workers := team.Workers()
+	locals := make([][]int32, workers)
+	cur := []int32{source}
+	next := make([]int32, 0, n)
+
+	var processed int64
+	maxLevel := int32(0)
+	for lv := int32(1); len(cur) > 0; lv++ {
+		maxLevel = lv - 1
+		processed += int64(len(cur))
+		for w := range locals {
+			locals[w] = locals[w][:0]
+		}
+		curSnapshot := cur
+		team.For(len(curSnapshot), opts, func(lo, hi, w int) {
+			local := locals[w]
+			for i := lo; i < hi; i++ {
+				v := curSnapshot[i]
+				for _, u := range g.Adj(v) {
+					// Check before locking (the paper's improvement), then
+					// claim with CAS — the lock-free equivalent of SNAP's
+					// per-vertex lock.
+					if atomic.LoadInt32(&levels[u]) != Unvisited {
+						continue
+					}
+					if claimLocked(levels, u, lv) {
+						local = append(local, u)
+					}
+				}
+			}
+			locals[w] = local
+		})
+		// Merge local queues into the global queue (level barrier).
+		next = next[:0]
+		for _, local := range locals {
+			next = append(next, local...)
+		}
+		cur, next = next, cur
+	}
+	res.NumLevels = int(maxLevel) + 1
+	res.Processed = processed
+	res.Widths = widthsOf(levels, res.NumLevels)
+	return res
+}

@@ -1,0 +1,129 @@
+package coloring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"micgraph/internal/gen"
+	"micgraph/internal/graph"
+)
+
+func isPermutation(p []int32, n int) bool {
+	if len(p) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestOrderingsArePermutations(t *testing.T) {
+	property := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%100) + 1
+		m := int(mRaw % 400)
+		g := randomGraph(seed, n, m)
+		return isPermutation(NaturalOrder(g), n) &&
+			isPermutation(LargestFirst(g), n) &&
+			isPermutation(SmallestLast(g), n) &&
+			isPermutation(IncidenceDegree(g), n)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargestFirstSorted(t *testing.T) {
+	g := randomGraph(9, 80, 300)
+	order := LargestFirst(g)
+	for i := 1; i < len(order); i++ {
+		if g.Degree(order[i]) > g.Degree(order[i-1]) {
+			t.Fatalf("degrees increase at position %d", i)
+		}
+	}
+}
+
+func TestSmallestLastDegeneracyBound(t *testing.T) {
+	// On a tree (degeneracy 1), smallest-last greedy must use exactly 2
+	// colors no matter how high the max degree is.
+	b := graph.NewBuilder(64)
+	for i := int32(1); i < 64; i++ {
+		b.AddEdge(i, (i-1)/2) // complete binary tree
+	}
+	tree := b.Build()
+	res := SeqGreedyOrder(tree, SmallestLast(tree))
+	if err := Validate(tree, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 2 {
+		t.Errorf("smallest-last on a tree used %d colors, want 2", res.NumColors)
+	}
+}
+
+func TestOrderingsValidAndBounded(t *testing.T) {
+	g, err := gen.Mesh(gen.Scaled(mustCfg(t, "bmw3_2"), 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural := SeqGreedy(g).NumColors
+	orders := map[string][]int32{
+		"largest-first":    LargestFirst(g),
+		"smallest-last":    SmallestLast(g),
+		"incidence-degree": IncidenceDegree(g),
+	}
+	for name, order := range orders {
+		res := SeqGreedyOrder(g, order)
+		if err := Validate(g, res.Colors); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The clique graph's chromatic number is CliqueSize; no sane
+		// ordering should be worse than natural by more than a sliver.
+		if res.NumColors > natural+2 {
+			t.Errorf("%s used %d colors vs natural %d", name, res.NumColors, natural)
+		}
+	}
+	// Smallest-last should be at least as good as natural here (it is the
+	// strongest of the classical heuristics on mesh-like graphs).
+	sl := SeqGreedyOrder(g, SmallestLast(g))
+	if sl.NumColors > natural {
+		t.Errorf("smallest-last (%d) worse than natural (%d)", sl.NumColors, natural)
+	}
+}
+
+func TestIncidenceDegreeConnectivity(t *testing.T) {
+	// On a connected graph, after the first vertex every ordered vertex
+	// should have at least one already-ordered neighbor (incidence > 0) —
+	// the defining property of the ordering.
+	g := gen.RingOfCliques(30, 5)
+	order := IncidenceDegree(g)
+	placed := make([]bool, g.NumVertices())
+	placed[order[0]] = true
+	for _, v := range order[1:] {
+		ok := false
+		for _, w := range g.Adj(v) {
+			if placed[w] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("vertex %d ordered with no ordered neighbor", v)
+		}
+		placed[v] = true
+	}
+}
+
+func TestOrderingsEmptyAndSingle(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if len(SmallestLast(empty)) != 0 || len(IncidenceDegree(empty)) != 0 || len(LargestFirst(empty)) != 0 {
+		t.Error("non-empty ordering for empty graph")
+	}
+	one := graph.NewBuilder(1).Build()
+	if len(SmallestLast(one)) != 1 || SmallestLast(one)[0] != 0 {
+		t.Error("singleton ordering wrong")
+	}
+}

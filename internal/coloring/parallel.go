@@ -1,0 +1,242 @@
+package coloring
+
+import (
+	"sync/atomic"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/sched"
+)
+
+// This file implements the iterative parallel speculative coloring
+// (Algorithms 2–4): rounds of tentative parallel coloring followed by
+// parallel conflict detection, until no conflicts remain. The three entry
+// points differ only in the runtime carrying the two parallel loops,
+// mirroring the paper's three implementations:
+//
+//   - ColorTeam:  OpenMP parallel for under a scheduling policy (§IV-A1);
+//   - ColorCilk:  cilk_for with holder/worker-id localFC and a reducer_max
+//     (§IV-A2);
+//   - ColorTBB:   tbb::parallel_for over a blocked range with a partitioner,
+//     enumerable_thread_specific localFC and a combinable max (§IV-A3).
+
+// localFC is one worker's forbidden-color scratch array: fc[c] == v marks
+// color c forbidden for vertex v. Allocated once per worker, size Δ+2.
+type localFC []int32
+
+func newLocalFC(maxDegree int) localFC {
+	fc := make(localFC, maxDegree+2)
+	for i := range fc {
+		fc[i] = -1
+	}
+	return fc
+}
+
+// tentativeOne speculatively colors v: gather neighbor colors (atomically,
+// they may be written concurrently), then First Fit. Returns the color.
+func tentativeOne(g *graph.Graph, colors []int32, fc localFC, v int32) int32 {
+	for _, w := range g.Adj(v) {
+		if c := atomic.LoadInt32(&colors[w]); c > 0 {
+			fc[c] = v
+		}
+	}
+	c := int32(1)
+	for fc[c] == v {
+		c++
+	}
+	atomic.StoreInt32(&colors[v], c)
+	return c
+}
+
+// conflictOne checks v against its neighbors; on a monochromatic edge the
+// smaller-id endpoint is queued for recoloring (Algorithm 4). Returns true
+// if v must be revisited.
+func conflictOne(g *graph.Graph, colors []int32, v int32) bool {
+	cv := atomic.LoadInt32(&colors[v])
+	for _, w := range g.Adj(v) {
+		if cv == atomic.LoadInt32(&colors[w]) && v < w {
+			return true
+		}
+	}
+	return false
+}
+
+// appendConflict reserves a slot in the shared conflict array with an atomic
+// fetch-and-add, the exact structure the paper uses ("we use an atomic fetch
+// and add to obtain a unique index in the Conflict array").
+func appendConflict(next []int32, count *atomic.Int64, v int32) {
+	idx := count.Add(1) - 1
+	next[idx] = v
+}
+
+// ColorTeam runs the iterative parallel coloring on an OpenMP-style Team
+// with the given loop options.
+func ColorTeam(g *graph.Graph, team *sched.Team, opts sched.ForOptions) Result {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	fcs := make([]localFC, team.Workers())
+	for i := range fcs {
+		fcs[i] = newLocalFC(g.MaxDegree())
+	}
+	visit := graph.IdentityPermutation(n)
+	res := Result{Colors: colors}
+	maxColor := int32(0)
+
+	for len(visit) > 0 {
+		res.Rounds++
+		// Tentative coloring (Algorithm 3) with per-worker local maxima,
+		// reduced by the main goroutine afterwards.
+		locals := make([]int32, team.Workers())
+		team.For(len(visit), opts, func(lo, hi, w int) {
+			fc := fcs[w]
+			localMax := locals[w]
+			for i := lo; i < hi; i++ {
+				if c := tentativeOne(g, colors, fc, visit[i]); c > localMax {
+					localMax = c
+				}
+			}
+			locals[w] = localMax
+		})
+		for _, lm := range locals {
+			if lm > maxColor {
+				maxColor = lm
+			}
+		}
+
+		// Conflict detection (Algorithm 4).
+		next := make([]int32, len(visit))
+		var count atomic.Int64
+		team.For(len(visit), opts, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				if v := visit[i]; conflictOne(g, colors, v) {
+					appendConflict(next, &count, v)
+				}
+			}
+		})
+		visit = next[:count.Load()]
+		res.Conflicts = append(res.Conflicts, len(visit))
+	}
+	res.NumColors = int(maxColor)
+	return res
+}
+
+// CilkVariant selects how the Cilk implementation obtains its localFC
+// scratch array (§IV-A2 describes both and the paper reports the holder).
+type CilkVariant int
+
+const (
+	// CilkWorkerID indexes a preallocated array by the worker number
+	// (discouraged by Cilk but slightly cheaper).
+	CilkWorkerID CilkVariant = iota
+	// CilkHolder uses a holder view, lazily created per worker.
+	CilkHolder
+)
+
+// String returns the name used in Figure 1(b)'s legend.
+func (v CilkVariant) String() string {
+	if v == CilkHolder {
+		return "CilkPlus-holder"
+	}
+	return "CilkPlus"
+}
+
+// ColorCilk runs the iterative parallel coloring as nested cilk_for loops on
+// a work-stealing Pool. grain <= 0 uses the Cilk default.
+func ColorCilk(g *graph.Graph, pool *sched.Pool, grain int, variant CilkVariant) Result {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	workers := pool.Workers()
+	var fcView func(c *sched.Ctx) localFC
+	switch variant {
+	case CilkWorkerID:
+		fcs := make([]localFC, workers)
+		for i := range fcs {
+			fcs[i] = newLocalFC(g.MaxDegree())
+		}
+		fcView = func(c *sched.Ctx) localFC { return fcs[c.Worker()] }
+	case CilkHolder:
+		holder := sched.NewHolder(workers, func() localFC { return newLocalFC(g.MaxDegree()) })
+		fcView = func(c *sched.Ctx) localFC { return *holder.View(c) }
+	}
+
+	visit := graph.IdentityPermutation(n)
+	res := Result{Colors: colors}
+	reducer := sched.NewReducerMax(workers, 0)
+
+	for len(visit) > 0 {
+		res.Rounds++
+		vs := visit
+		pool.ParallelFor(len(vs), grain, func(lo, hi int, c *sched.Ctx) {
+			fc := fcView(c)
+			localMax := int32(0)
+			for i := lo; i < hi; i++ {
+				if cc := tentativeOne(g, colors, fc, vs[i]); cc > localMax {
+					localMax = cc
+				}
+			}
+			reducer.Update(c, int(localMax))
+		})
+
+		next := make([]int32, len(vs))
+		var count atomic.Int64
+		pool.ParallelFor(len(vs), grain, func(lo, hi int, c *sched.Ctx) {
+			for i := lo; i < hi; i++ {
+				if v := vs[i]; conflictOne(g, colors, v) {
+					appendConflict(next, &count, v)
+				}
+			}
+		})
+		visit = next[:count.Load()]
+		res.Conflicts = append(res.Conflicts, len(visit))
+	}
+	res.NumColors = reducer.Get()
+	return res
+}
+
+// ColorTBB runs the iterative parallel coloring as TBB parallel_for calls
+// over blocked ranges with the given partitioner and grain (minimum chunk).
+func ColorTBB(g *graph.Graph, pool *sched.Pool, part sched.Partitioner, grain int) Result {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	workers := pool.Workers()
+	ets := sched.NewETS(workers, func() localFC { return newLocalFC(g.MaxDegree()) })
+	maxC := sched.NewCombinable(workers, func() int32 { return 0 })
+
+	visit := graph.IdentityPermutation(n)
+	res := Result{Colors: colors}
+	var aff sched.AffinityState
+
+	for len(visit) > 0 {
+		res.Rounds++
+		vs := visit
+		sched.ParallelForRange(pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
+			func(lo, hi int, c *sched.Ctx) {
+				fc := *ets.Local(c)
+				local := maxC.Local(c)
+				for i := lo; i < hi; i++ {
+					if cc := tentativeOne(g, colors, fc, vs[i]); cc > *local {
+						*local = cc
+					}
+				}
+			})
+
+		next := make([]int32, len(vs))
+		var count atomic.Int64
+		sched.ParallelForRange(pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
+			func(lo, hi int, c *sched.Ctx) {
+				for i := lo; i < hi; i++ {
+					if v := vs[i]; conflictOne(g, colors, v) {
+						appendConflict(next, &count, v)
+					}
+				}
+			})
+		visit = next[:count.Load()]
+		res.Conflicts = append(res.Conflicts, len(visit))
+	}
+	res.NumColors = int(maxC.Combine(0, func(a, b int32) int32 {
+		if a > b {
+			return a
+		}
+		return b
+	}))
+	return res
+}

@@ -1,0 +1,152 @@
+package components
+
+import (
+	"testing"
+	"testing/quick"
+
+	"micgraph/internal/gen"
+	"micgraph/internal/graph"
+	"micgraph/internal/sched"
+	"micgraph/internal/xrand"
+)
+
+func randomGraph(seed uint64, n, m int) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func ccOpts() sched.ForOptions { return sched.ForOptions{Policy: sched.Dynamic, Chunk: 8} }
+
+func TestSequentialComponents(t *testing.T) {
+	b := graph.NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	res := Sequential(g)
+	if res.Count != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("count = %d, want 4", res.Count)
+	}
+	if res.Labels[0] != res.Labels[2] || res.Labels[0] == res.Labels[3] {
+		t.Error("labels wrong")
+	}
+	// Labels are the minimum vertex id of the component.
+	if res.Labels[2] != 0 || res.Labels[4] != 3 || res.Labels[6] != 6 {
+		t.Errorf("labels not component minima: %v", res.Labels)
+	}
+}
+
+func TestParallelVariantsMatchSequential(t *testing.T) {
+	team := sched.NewTeam(4)
+	defer team.Close()
+	graphs := map[string]*graph.Graph{
+		"connected": gen.Grid2D(20, 20),
+		"two-halves": func() *graph.Graph {
+			b := graph.NewBuilder(40)
+			for i := int32(0); i < 19; i++ {
+				b.AddEdge(i, i+1)
+				b.AddEdge(20+i, 21+i)
+			}
+			return b.Build()
+		}(),
+		"isolated": graph.NewBuilder(25).Build(),
+		"random":   randomGraph(7, 300, 350), // many small components
+		"rmat":     gen.RMAT(9, 4, 0.57, 0.19, 0.19, 5),
+	}
+	for name, g := range graphs {
+		name, g := name, g
+		t.Run(name, func(t *testing.T) {
+			want := Sequential(g)
+			lp := LabelPropagation(g, team, ccOpts())
+			if err := Validate(g, lp.Labels); err != nil {
+				t.Errorf("label propagation: %v", err)
+			}
+			if lp.Count != want.Count {
+				t.Errorf("label propagation count %d, want %d", lp.Count, want.Count)
+			}
+			pj := PointerJumping(g, team, ccOpts())
+			if err := Validate(g, pj.Labels); err != nil {
+				t.Errorf("pointer jumping: %v", err)
+			}
+			if pj.Count != want.Count {
+				t.Errorf("pointer jumping count %d, want %d", pj.Count, want.Count)
+			}
+		})
+	}
+}
+
+func TestComponentsProperty(t *testing.T) {
+	team := sched.NewTeam(4)
+	defer team.Close()
+	property := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%150) + 1
+		m := int(mRaw % 400)
+		g := randomGraph(seed, n, m)
+		want := Sequential(g)
+		lp := LabelPropagation(g, team, ccOpts())
+		pj := PointerJumping(g, team, ccOpts())
+		return lp.Count == want.Count && pj.Count == want.Count &&
+			Validate(g, lp.Labels) == nil && Validate(g, pj.Labels) == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointerJumpingLogRounds(t *testing.T) {
+	// A long chain must converge in O(log n) hook rounds, not O(n) — the
+	// point of pointer jumping vs plain propagation.
+	team := sched.NewTeam(4)
+	defer team.Close()
+	g := gen.Chain(4096)
+	pj := PointerJumping(g, team, ccOpts())
+	if pj.Count != 1 {
+		t.Fatalf("chain components = %d", pj.Count)
+	}
+	if pj.Rounds > 40 {
+		t.Errorf("pointer jumping took %d rounds on a 4096-chain; want O(log n)", pj.Rounds)
+	}
+	lp := LabelPropagation(g, team, ccOpts())
+	if lp.Rounds < pj.Rounds {
+		t.Errorf("label propagation (%d rounds) beat pointer jumping (%d) on a chain",
+			lp.Rounds, pj.Rounds)
+	}
+}
+
+func TestLabelsAreComponentMinima(t *testing.T) {
+	team := sched.NewTeam(3)
+	defer team.Close()
+	g := gen.RingOfCliques(10, 5)
+	for _, res := range []Result{
+		LabelPropagation(g, team, ccOpts()),
+		PointerJumping(g, team, ccOpts()),
+	} {
+		for v, l := range res.Labels {
+			if l > int32(v) {
+				t.Fatalf("label[%d] = %d exceeds the vertex id; not a minimum", v, l)
+			}
+		}
+		if res.Labels[0] != 0 {
+			t.Error("vertex 0 must label its own component")
+		}
+	}
+}
+
+func TestCompareLabelingsDetectsMismatch(t *testing.T) {
+	if err := graph.CompareLabelings([]int32{0, 0, 2}, []int32{5, 5, 9}); err != nil {
+		t.Errorf("isomorphic labelings rejected: %v", err)
+	}
+	if err := graph.CompareLabelings([]int32{0, 0, 2}, []int32{5, 9, 9}); err == nil {
+		t.Error("split/merge not detected")
+	}
+	if err := graph.CompareLabelings([]int32{0, 1}, []int32{0, 0}); err == nil {
+		t.Error("merged labels not detected")
+	}
+	if err := graph.CompareLabelings([]int32{0}, []int32{0, 1}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+}

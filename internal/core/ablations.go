@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/mic"
+	"micgraph/internal/perfmodel"
+	"micgraph/internal/sched"
+)
+
+// Ablation experiments: each isolates one design choice the paper (or this
+// reproduction) calls out, holding everything else fixed. Run them with
+// `micbench -exp abl-...`.
+
+// AblBlockSize sweeps the BFS block-accessed queue's block size — the
+// trade-off §IV-C describes: "by keeping the block size small (but not so
+// small so that we do not use atomics too often), the overhead is
+// minimized". The paper's winner is 32.
+func AblBlockSize(s *Suite, m *mic.Machine) *Experiment {
+	sizes := []int{4, 8, 16, 32, 64, 128, 256}
+	threads := []int{31, 61, 121}
+	exp := &Experiment{
+		ID:    "abl-blocksize",
+		Title: "Ablation: BFS block size (relaxed queue, OpenMP dynamic)",
+		Notes: "Values are geometric-mean speedups across the suite; the paper's best block size is 32.",
+	}
+	for _, th := range threads {
+		th := th
+		vals := make([]float64, len(sizes))
+		for si, bs := range sizes {
+			per := make([]float64, len(s.Graphs))
+			for gi, g := range s.Graphs {
+				src := int32(g.NumVertices() / 2)
+				tr := mic.BFSTrace(m, g, src, mic.NaturalOrder, mic.BFSBlockRelaxed, bs)
+				cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: bs}
+				base := mic.Simulate(m, cfg, 1, tr)
+				per[gi] = base / mic.Simulate(m, cfg, th, tr)
+			}
+			vals[si] = GeoMean(per)
+		}
+		exp.Series = append(exp.Series, Series{
+			Label: fmt.Sprintf("%d threads", th), Threads: sizes, Values: vals,
+		})
+	}
+	return exp
+}
+
+// AblChunkSize sweeps the OpenMP dynamic chunk size for coloring — §V-B:
+// "Different chunk sizes (from 40 to 150) were tried and only the best
+// results are reported ... the dynamic scheduling policy performs better
+// with a chunk size of 100."
+func AblChunkSize(s *Suite, m *mic.Machine) *Experiment {
+	chunks := []int{10, 25, 40, 100, 150, 400, 1000}
+	threads := []int{31, 121}
+	exp := &Experiment{
+		ID:    "abl-chunk",
+		Title: "Ablation: OpenMP dynamic chunk size for coloring",
+		Notes: "The x column is the chunk size; the paper's best is 100.",
+	}
+	for _, th := range threads {
+		vals := make([]float64, len(chunks))
+		for ci, chunk := range chunks {
+			per := make([]float64, len(s.Graphs))
+			for gi, g := range s.Graphs {
+				cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: chunk}
+				base := mic.Simulate(m, cfg, 1, mic.ColoringTrace(m, g, mic.NaturalOrder, 1))
+				per[gi] = base / mic.Simulate(m, cfg, th, mic.ColoringTrace(m, g, mic.NaturalOrder, th))
+			}
+			vals[ci] = GeoMean(per)
+		}
+		exp.Series = append(exp.Series, Series{
+			Label: fmt.Sprintf("%d threads", th), Threads: chunks, Values: vals,
+		})
+	}
+	return exp
+}
+
+// AblSMT re-runs the shuffled coloring with the machine's SMT width forced
+// to 1..4 hardware threads per core — isolating the paper's headline
+// mechanism: without SMT the memory-bound kernel cannot scale past the
+// core count.
+func AblSMT(s *Suite, m *mic.Machine) *Experiment {
+	threads := ThreadSweep()
+	exp := &Experiment{
+		ID:    "abl-smt",
+		Title: "Ablation: SMT ways (shuffled coloring, OpenMP dynamic)",
+		Notes: "Threads beyond cores × ways are clamped to the hardware limit.",
+	}
+	graphs := s.Shuffled()
+	for ways := 1; ways <= m.SMTWays; ways++ {
+		mm := *m
+		mm.SMTWays = ways
+		vals := make([]float64, len(threads))
+		for ti, th := range threads {
+			eff := th
+			if eff > mm.MaxThreads() {
+				eff = mm.MaxThreads()
+			}
+			per := make([]float64, len(graphs))
+			for gi, g := range graphs {
+				cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: 100}
+				base := mic.Simulate(&mm, cfg, 1, mic.ColoringTrace(&mm, g, mic.ShuffledOrder, 1))
+				per[gi] = base / mic.Simulate(&mm, cfg, eff, mic.ColoringTrace(&mm, g, mic.ShuffledOrder, eff))
+			}
+			vals[ti] = GeoMean(per)
+		}
+		exp.Series = append(exp.Series, Series{
+			Label: fmt.Sprintf("%d-way SMT", ways), Threads: threads, Values: vals,
+		})
+	}
+	return exp
+}
+
+// AblCacheBonus toggles the shared-cache constructive-interference term —
+// the mechanism behind the superlinear Figure 2 speedups.
+func AblCacheBonus(s *Suite, m *mic.Machine) *Experiment {
+	threads := ThreadSweep()
+	exp := &Experiment{
+		ID:    "abl-bonus",
+		Title: "Ablation: shared-cache interference bonus (shuffled coloring)",
+		Notes: "With the bonus off, speedup cannot exceed the thread count.",
+	}
+	graphs := s.Shuffled()
+	for _, on := range []bool{true, false} {
+		mm := *m
+		label := "bonus on"
+		if !on {
+			mm.CacheShareBonus = 0
+			label = "bonus off"
+		}
+		vals := make([]float64, len(threads))
+		for ti, th := range threads {
+			per := make([]float64, len(graphs))
+			for gi, g := range graphs {
+				cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: 100}
+				base := mic.Simulate(&mm, cfg, 1, mic.ColoringTrace(&mm, g, mic.ShuffledOrder, 1))
+				per[gi] = base / mic.Simulate(&mm, cfg, th, mic.ColoringTrace(&mm, g, mic.ShuffledOrder, th))
+			}
+			vals[ti] = GeoMean(per)
+		}
+		exp.Series = append(exp.Series, Series{Label: label, Threads: threads, Values: vals})
+	}
+	return exp
+}
+
+// AblOrdering scores vertex orderings between the paper's two extremes:
+// natural, randomly shuffled, and shuffled-then-RCM-reordered graphs. The
+// miss rate is derived from the measured bandwidth of each ordering
+// (mic.EffectiveMissPerEdge), so RCM's locality restoration shows up as a
+// 1-thread time close to natural and speedup between the two curves.
+func AblOrdering(s *Suite, m *mic.Machine) *Experiment {
+	threads := []int{1, 31, 61, 121}
+	exp := &Experiment{
+		ID:    "abl-ordering",
+		Title: "Ablation: vertex ordering (coloring; natural vs shuffled vs RCM-restored)",
+		Notes: "Values at 1 thread are relative times vs natural (higher = slower); at >1 threads, speedups vs the ordering's own 1-thread time.",
+	}
+	type variant struct {
+		label string
+		pick  func(gi int) (miss float64)
+	}
+	variants := []variant{
+		{"natural", func(gi int) float64 { return m.EffectiveMissPerEdge(s.Graphs[gi]) }},
+		{"shuffled", func(gi int) float64 { return m.EffectiveMissPerEdge(s.Shuffled()[gi]) }},
+		{"shuffled+RCM", func(gi int) float64 {
+			sh := s.Shuffled()[gi]
+			restored, err := sh.Permute(graph.RCMOrder(sh))
+			if err != nil {
+				panic(err) // RCMOrder always returns a valid permutation
+			}
+			return m.EffectiveMissPerEdge(restored)
+		}},
+	}
+	for _, v := range variants {
+		vals := make([]float64, len(threads))
+		for ti, th := range threads {
+			per := make([]float64, len(s.Graphs))
+			for gi, g := range s.Graphs {
+				miss := v.pick(gi)
+				cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: 100}
+				if th == 1 {
+					// Relative serial time vs the natural ordering.
+					nat := mic.Simulate(m, cfg, 1, mic.ColoringTraceMiss(m, g, m.EffectiveMissPerEdge(g), 1))
+					per[gi] = mic.Simulate(m, cfg, 1, mic.ColoringTraceMiss(m, g, miss, 1)) / nat
+				} else {
+					base := mic.Simulate(m, cfg, 1, mic.ColoringTraceMiss(m, g, miss, 1))
+					per[gi] = base / mic.Simulate(m, cfg, th, mic.ColoringTraceMiss(m, g, miss, th))
+				}
+			}
+			vals[ti] = GeoMean(per)
+		}
+		exp.Series = append(exp.Series, Series{Label: v.label, Threads: threads, Values: vals})
+	}
+	return exp
+}
+
+// AblModelVsSim contrasts the paper's analytical BFS model with the full
+// simulator at matching assumptions (no overheads in the model): the model
+// is exactly the simulator with uniform vertex costs, zero overheads, and
+// no SMT — the "five unrealistic assumptions" of §III-C.
+func AblModelVsSim(s *Suite, m *mic.Machine) *Experiment {
+	threads := ThreadSweep()
+	exp := &Experiment{
+		ID:    "abl-model",
+		Title: "Ablation: analytical model vs simulator (BFS, pwtk)",
+	}
+	gi := s.indexOf("pwtk")
+	g := s.Graphs[gi]
+	src := int32(g.NumVertices() / 2)
+	widths := g.LevelWidths(src)
+
+	model := make([]float64, len(threads))
+	for ti, th := range threads {
+		model[ti] = perfmodel.Speedup(widths, th, 32)
+	}
+	exp.Series = append(exp.Series, Series{Label: "analytical model", Threads: threads, Values: model})
+
+	// Simulator with overheads stripped: zero barriers, atomics, taxes.
+	mm := *m
+	mm.BarrierBase, mm.BarrierPerThread = 0, 0
+	mm.AtomicCost, mm.AtomicContPerT, mm.AtomicContSq = 0, 0, 0
+	mm.NoiseCore0, mm.CacheShareBonus = 0, 0
+	mm.DynamicGrabCost = 0
+	tr := mic.BFSTrace(&mm, g, src, mic.NaturalOrder, mic.BFSBlockRelaxed, 32)
+	cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: 32}
+	sim := make([]float64, len(threads))
+	base := mic.Simulate(&mm, cfg, 1, tr)
+	for ti, th := range threads {
+		sim[ti] = base / mic.Simulate(&mm, cfg, th, tr)
+	}
+	exp.Series = append(exp.Series, Series{Label: "simulator, overheads off", Threads: threads, Values: sim})
+
+	// And the full simulator for contrast.
+	trFull := mic.BFSTrace(m, g, src, mic.NaturalOrder, mic.BFSBlockRelaxed, 32)
+	full := make([]float64, len(threads))
+	baseFull := mic.Simulate(m, cfg, 1, trFull)
+	for ti, th := range threads {
+		full[ti] = baseFull / mic.Simulate(m, cfg, th, trFull)
+	}
+	exp.Series = append(exp.Series, Series{Label: "simulator, full", Threads: threads, Values: full})
+	return exp
+}

@@ -1,0 +1,189 @@
+// Package core is the experiment engine: it reproduces every table and
+// figure of the paper's evaluation (§V) by generating the graph suite,
+// building kernel cost traces, sweeping thread counts on the simulated
+// machines, and reporting speedup series exactly as the paper does —
+// per-graph speedups against the fastest 1-thread configuration, combined
+// across graphs by geometric mean.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"micgraph/internal/gen"
+	"micgraph/internal/graph"
+	"micgraph/internal/mic"
+)
+
+// ThreadSweep returns the paper's x-axis: 1 to 121 threads in increments of
+// 10 ("a number of threads from 1 to 121 by increment of 10", §V-B).
+func ThreadSweep() []int {
+	out := []int{1}
+	for t := 11; t <= 121; t += 10 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// HostSweep returns the host x-axis for Figure 4(d): 1..24 threads.
+func HostSweep() []int {
+	out := make([]int, 24)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label   string
+	Threads []int
+	Values  []float64
+}
+
+// Peak returns the maximum value and the thread count where it occurs.
+func (s *Series) Peak() (threads int, value float64) {
+	for i, v := range s.Values {
+		if v > value {
+			value = v
+			threads = s.Threads[i]
+		}
+	}
+	return
+}
+
+// At returns the series value at the given thread count (0 if absent).
+func (s *Series) At(t int) float64 {
+	for i, th := range s.Threads {
+		if th == t {
+			return s.Values[i]
+		}
+	}
+	return 0
+}
+
+// Experiment is one reproduced table or figure.
+type Experiment struct {
+	ID     string // "table1", "fig1a", ... "fig4d"
+	Title  string
+	Series []Series
+	Rows   []TableRow // table experiments only
+	Notes  string
+}
+
+// TableRow is one line of Table I.
+type TableRow struct {
+	Name     string
+	V        int
+	E        int64
+	MaxDeg   int
+	Colors   int
+	Levels   int
+	PaperCol int
+	PaperLev int
+}
+
+// GeoMean returns the geometric mean of xs (0 if any x <= 0 or empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Suite holds the generated stand-in graphs shared by all experiments.
+type Suite struct {
+	Scale    int
+	Configs  []gen.MeshConfig
+	Graphs   []*graph.Graph
+	shuffled []*graph.Graph
+}
+
+// NewSuite generates the seven Table I stand-ins at the given linear scale
+// (1 = the paper's sizes).
+func NewSuite(scale int) (*Suite, error) {
+	graphs, configs, err := gen.GenerateSuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Scale: scale, Configs: configs, Graphs: graphs}, nil
+}
+
+// Shuffled returns the randomly relabeled copies used by Figure 2, created
+// lazily and cached.
+func (s *Suite) Shuffled() []*graph.Graph {
+	if s.shuffled == nil {
+		s.shuffled = make([]*graph.Graph, len(s.Graphs))
+		for i, g := range s.Graphs {
+			s.shuffled[i] = g.Shuffled(uint64(1000 + i))
+		}
+	}
+	return s.shuffled
+}
+
+// Find returns the suite graph with the given base name (e.g. "pwtk").
+func (s *Suite) Find(name string) (*graph.Graph, gen.MeshConfig, error) {
+	for i, cfg := range s.Configs {
+		base := cfg.Name
+		for j := 0; j < len(base); j++ {
+			if base[j] == '/' {
+				base = base[:j]
+				break
+			}
+		}
+		if base == name {
+			return s.Graphs[i], cfg, nil
+		}
+	}
+	return nil, gen.MeshConfig{}, fmt.Errorf("core: no suite graph %q", name)
+}
+
+// speedupCurves computes, for each configuration, the geometric-mean
+// speedup curve across the given graphs. The per-graph baseline is the
+// fastest 1-thread time over all configurations, matching §V-A
+// ("computed using as baseline the configuration that performs the fastest
+// on 1 thread for that graph"). traceFor builds the trace for a given
+// (graph index, config index, thread count).
+func speedupCurves(m *mic.Machine, configs []mic.Config, labels []string,
+	numGraphs int, threads []int,
+	traceFor func(gi, ci, t int) *mic.Trace) []Series {
+
+	// Baselines per graph: min over configs of 1-thread time.
+	base := make([]float64, numGraphs)
+	for gi := 0; gi < numGraphs; gi++ {
+		best := math.Inf(1)
+		for ci := range configs {
+			tt := mic.Simulate(m, configs[ci], 1, traceFor(gi, ci, 1))
+			if tt < best {
+				best = tt
+			}
+		}
+		base[gi] = best
+	}
+
+	series := make([]Series, len(configs))
+	for ci := range configs {
+		vals := make([]float64, len(threads))
+		for ti, t := range threads {
+			per := make([]float64, numGraphs)
+			for gi := 0; gi < numGraphs; gi++ {
+				tt := mic.Simulate(m, configs[ci], t, traceFor(gi, ci, t))
+				per[gi] = base[gi] / tt
+			}
+			vals[ti] = GeoMean(per)
+		}
+		label := labels[ci]
+		if label == "" {
+			label = configs[ci].String()
+		}
+		series[ci] = Series{Label: label, Threads: threads, Values: vals}
+	}
+	return series
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteSVG renders a speedup experiment as a standalone SVG line chart in
+// the style of the paper's figures: threads on the x-axis, speedup on the
+// y-axis, one polyline per series, legend in the top-left. Table
+// experiments (no series) are rejected.
+func WriteSVG(w io.Writer, e *Experiment) error {
+	if len(e.Series) == 0 {
+		return fmt.Errorf("core: experiment %s has no series to plot", e.ID)
+	}
+
+	const (
+		width, height    = 720, 480
+		marginL, marginR = 70, 30
+		marginT, marginB = 50, 60
+		plotW, plotH     = width - marginL - marginR, height - marginT - marginB
+	)
+
+	// Data ranges.
+	maxX, maxY := 0.0, 0.0
+	for _, s := range e.Series {
+		for i, t := range s.Threads {
+			maxX = math.Max(maxX, float64(t))
+			maxY = math.Max(maxY, s.Values[i])
+		}
+	}
+	if maxX == 0 || maxY == 0 {
+		return fmt.Errorf("core: experiment %s has empty data", e.ID)
+	}
+	maxY = niceCeil(maxY)
+
+	x := func(t float64) float64 { return marginL + t/maxX*float64(plotW) }
+	y := func(v float64) float64 { return marginT + (1-v/maxY)*float64(plotH) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="28" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		width/2, xmlEscape(e.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+
+	// Ticks and grid: 6 y ticks, x ticks at the series' thread values
+	// (thinned to at most 14).
+	for i := 0; i <= 6; i++ {
+		v := maxY * float64(i) / 6
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yy, marginL+plotW, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			marginL-6, yy+4, v)
+	}
+	ticks := e.Series[0].Threads
+	step := (len(ticks) + 13) / 14
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(ticks); i += step {
+		t := float64(ticks[i])
+		xx := x(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			xx, marginT+plotH, xx, marginT+plotH+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%d</text>`+"\n",
+			xx, marginT+plotH+18, ticks[i])
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">threads</text>`+"\n",
+		marginL+plotW/2, height-14)
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">speedup</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2)
+
+	// Series polylines + legend.
+	colors := []string{"#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#e67e22", "#16a085", "#7f8c8d"}
+	for si, s := range e.Series {
+		color := colors[si%len(colors)]
+		var pts []string
+		for i, t := range s.Threads {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(float64(t)), y(s.Values[i])))
+		}
+		dash := ""
+		if s.Label == "Model" {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
+			strings.Join(pts, " "), color, dash)
+		for i, t := range s.Threads {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				x(float64(t)), y(s.Values[i]), color)
+		}
+		ly := marginT + 16 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+12, ly-4, marginL+40, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginL+46, ly, xmlEscape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// niceCeil rounds v up to a visually round axis maximum.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.5, 2, 3, 4, 5, 6, 8, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,166 @@
+// Package gen provides deterministic synthetic graph generators.
+//
+// The paper evaluates on seven real-world FEM/structural matrices from the
+// UF Sparse Matrix Collection and the Parasol project (Table I). Those files
+// are not redistributable inside this offline reproduction, so gen builds
+// synthetic stand-ins whose four structurally relevant properties are
+// controlled to match the published values:
+//
+//   - |V| and |E| (working-set size, memory pressure),
+//   - Δ, the maximum degree (load imbalance of per-vertex work),
+//   - the greedy color count (FEM matrices are locally clique-like, which is
+//     why their greedy color count roughly equals the average degree),
+//   - the BFS level count from source |V|/2 (the x_l level-width profile
+//     that drives the paper's Section III-C BFS model; pwtk's 267-level
+//     narrow "ribbon" outlier is reproduced by its aspect ratio).
+//
+// The stand-in family is the "clique grid": |V|/s cliques of size s (s set
+// to the published greedy color count) laid out on a W×L grid, adjacent
+// cliques joined by a budget of random edges so that |E| matches, plus a few
+// high-degree hub vertices to reach Δ. Natural vertex order is clique-major,
+// giving the same strong index locality as FEM natural orderings; the
+// paper's "randomly shuffled" experiment is obtained with Graph.Shuffled.
+//
+// Package gen also provides classic families (paths, grids, Erdős–Rényi,
+// RMAT, ring of cliques) used by unit tests and the examples.
+package gen
+
+import (
+	"fmt"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/xrand"
+)
+
+// Chain returns the path graph on n vertices: the paper's worst-case BFS
+// example ("consider a graph that is a very long chain, the layered BFS
+// algorithm will not be able to expose any parallelism").
+func Chain(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	b.Grow(n - 1)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	b.Grow(n * (n - 1) / 2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Build()
+}
+
+// Grid2D returns the w×h 4-neighbor grid graph, vertex (x,y) = y*w+x.
+func Grid2D(w, h int) *graph.Graph {
+	b := graph.NewBuilder(w * h)
+	b.Grow(2 * w * h)
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Grid3D returns the w×h×d 6-neighbor grid graph.
+func Grid3D(w, h, d int) *graph.Graph {
+	b := graph.NewBuilder(w * h * d)
+	b.Grow(3 * w * h * d)
+	id := func(x, y, z int) int32 { return int32((z*h+y)*w + x) }
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if x+1 < w {
+					b.AddEdge(id(x, y, z), id(x+1, y, z))
+				}
+				if y+1 < h {
+					b.AddEdge(id(x, y, z), id(x, y+1, z))
+				}
+				if z+1 < d {
+					b.AddEdge(id(x, y, z), id(x, y, z+1))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi returns a G(n, m) random simple graph: m distinct edges are
+// attempted uniformly; self loops and duplicates are discarded, so the
+// result has at most m edges.
+func ErdosRenyi(n int, m int, seed uint64) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	b.Grow(m)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+// RMAT returns a recursive-matrix power-law graph with 2^scale vertices and
+// about edgeFactor*2^scale edges, using the standard (a,b,c,d) quadrant
+// probabilities (Graph 500 uses a=0.57, b=c=0.19, d=0.05). The result is
+// symmetrised and deduplicated, so the edge count is approximate.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed uint64) *graph.Graph {
+	if a+b+c >= 1 {
+		panic(fmt.Sprintf("gen: RMAT quadrant probabilities a+b+c = %v >= 1", a+b+c))
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	r := xrand.New(seed)
+	bld := graph.NewBuilder(n)
+	bld.Grow(m)
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a: // top-left
+			case p < a+b: // top-right
+				v |= 1 << bit
+			case p < a+b+c: // bottom-left
+				u |= 1 << bit
+			default: // bottom-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		bld.AddEdge(int32(u), int32(v))
+	}
+	return bld.Build()
+}
+
+// RingOfCliques returns k cliques of size s, with clique i joined to clique
+// (i+1) mod k by a single edge. Useful as a coloring stress test with known
+// chromatic number s.
+func RingOfCliques(k, s int) *graph.Graph {
+	n := k * s
+	b := graph.NewBuilder(n)
+	b.Grow(k*s*(s-1)/2 + k)
+	for c := 0; c < k; c++ {
+		base := int32(c * s)
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				b.AddEdge(base+int32(i), base+int32(j))
+			}
+		}
+		if k > 1 {
+			next := int32(((c + 1) % k) * s)
+			b.AddEdge(base, next)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Plain edge-list I/O: the whitespace-separated "u v" per line format used
+// by SNAP datasets, Graph 500 generators, and most ad-hoc tooling. Vertex
+// ids are 0-based. Lines starting with '#' or '%' are comments. The vertex
+// count is max id + 1 unless a larger count is given.
+
+// WriteEdgeList writes each undirected edge once ("u v" with u < v),
+// preceded by a comment with the graph dimensions.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# %d vertices, %d edges\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 32)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Adj(int32(v)) {
+			if int32(v) < u {
+				buf = buf[:0]
+				buf = strconv.AppendInt(buf, int64(v), 10)
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(u), 10)
+				buf = append(buf, '\n')
+				if _, err := bw.Write(buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses an edge list. minVertices pads the vertex count (0 to
+// infer it from the maximum id seen). Self loops and duplicates are
+// discarded as usual.
+func ReadEdgeList(r io.Reader, minVertices int) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var us, vs []int32
+	maxID := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("edgelist: line %d: need two ids, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("edgelist: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("edgelist: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("edgelist: line %d: negative vertex id", lineNo)
+		}
+		us = append(us, int32(u))
+		vs = append(vs, int32(v))
+		if int32(u) > maxID {
+			maxID = int32(u)
+		}
+		if int32(v) > maxID {
+			maxID = int32(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edgelist: %w", err)
+	}
+	n := int(maxID) + 1
+	if minVertices > n {
+		n = minVertices
+	}
+	b := NewBuilder(n)
+	b.Grow(len(us))
+	for i := range us {
+		b.AddEdge(us[i], vs[i])
+	}
+	return b.Build(), nil
+}

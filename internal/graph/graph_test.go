@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"micgraph/internal/xrand"
+)
+
+// path returns the path graph 0-1-2-...-(n-1).
+func path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+// complete returns K_n.
+func complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Build()
+}
+
+// randomGraph returns an Erdős–Rényi-ish graph for property tests.
+func randomGraph(seed uint64, n, m int) *Graph {
+	r := xrand.New(seed)
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var g Graph
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.MaxDegree() != 0 {
+		t.Errorf("zero Graph not empty: %v", g.String())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("zero Graph invalid: %v", err)
+	}
+	g2 := NewBuilder(0).Build()
+	if g2.NumVertices() != 0 {
+		t.Errorf("Build of empty builder has %d vertices", g2.NumVertices())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Errorf("built empty graph invalid: %v", err)
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := NewBuilder(5).Build()
+	if g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("got %s, want 5 vertices 0 edges", g)
+	}
+	for v := int32(0); v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self loop
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2 (dedup + self-loop removal)", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(2, 3) {
+		t.Error("expected edges missing")
+	}
+	if g.HasEdge(2, 2) || g.HasEdge(0, 3) {
+		t.Error("unexpected edges present")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(3).AddEdge(0, 3)
+}
+
+func TestBuildTwicePanics(t *testing.T) {
+	b := NewBuilder(1)
+	b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Build did not panic")
+		}
+	}()
+	b.Build()
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := FromEdges(2, []Edge{{0, 2}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	if err != nil || g.NumEdges() != 2 {
+		t.Errorf("FromEdges = %v, %v", g, err)
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	g, err := FromAdjacency([][]int32{{1, 2}, {0}, {}}) // 0-2 only listed on one side
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Error("FromAdjacency did not symmetrise")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := FromAdjacency([][]int32{{5}}); err == nil {
+		t.Error("out-of-range adjacency accepted")
+	}
+}
+
+func TestDegreesAndStats(t *testing.T) {
+	g := complete(5)
+	if g.MaxDegree() != 4 {
+		t.Errorf("K5 MaxDegree = %d", g.MaxDegree())
+	}
+	if g.NumEdges() != 10 {
+		t.Errorf("K5 edges = %d", g.NumEdges())
+	}
+	if g.AvgDegree() != 4 {
+		t.Errorf("K5 AvgDegree = %v", g.AvgDegree())
+	}
+	s := ComputeStats(g)
+	if s.MaxDegree != 4 || s.MinDegree != 4 || s.DegreeP50 != 4 || s.Components != 1 {
+		t.Errorf("K5 stats = %+v", s)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := randomGraph(1, 50, 200)
+	h := g.Clone()
+	if !g.Equal(h) {
+		t.Error("clone not equal")
+	}
+	if h.NumEdges() > 0 {
+		h.adj[0]++ // mutating the clone must not affect the original
+		if g.Equal(h) {
+			t.Error("clone shares storage with original")
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Graph)
+	}{
+		{"asymmetric", func(g *Graph) { g.adj[0] = g.adj[1] }},
+		{"unsorted", func(g *Graph) {
+			a := g.Adj(0)
+			if len(a) >= 2 {
+				a[0], a[1] = a[1], a[0]
+			}
+		}},
+		{"out-of-range", func(g *Graph) { g.adj[0] = int32(g.NumVertices()) }},
+		{"self-loop", func(g *Graph) { g.adj[g.xadj[3]] = 3 }},
+		{"bad-offset", func(g *Graph) { g.xadj[1] = g.xadj[2] + 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := complete(6)
+			tc.mutate(g)
+			if err := g.Validate(); err == nil {
+				t.Errorf("corruption %q not detected", tc.name)
+			}
+		})
+	}
+}
+
+func TestRandomGraphsValid(t *testing.T) {
+	property := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 1000)
+		g := randomGraph(seed, n, m)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasEdgeMatchesAdjacency(t *testing.T) {
+	g := randomGraph(7, 80, 400)
+	n := g.NumVertices()
+	adjSet := make(map[[2]int32]bool)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Adj(int32(v)) {
+			adjSet[[2]int32{int32(v), w}] = true
+		}
+	}
+	for u := int32(0); u < int32(n); u++ {
+		for v := int32(0); v < int32(n); v++ {
+			if g.HasEdge(u, v) != adjSet[[2]int32{u, v}] {
+				t.Fatalf("HasEdge(%d,%d) = %v disagrees with adjacency", u, v, g.HasEdge(u, v))
+			}
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path(4) // degrees: 1,2,2,1
+	h := DegreeHistogram(g)
+	want := []int64{0, 2, 2}
+	if len(h) != len(want) {
+		t.Fatalf("histogram length %d, want %d", len(h), len(want))
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("histogram[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	property := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%100) + 1
+		m := int(mRaw % 500)
+		g := randomGraph(seed, n, m)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			return false
+		}
+		h, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadMatrixMarketGeneralWithValues(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment line
+4 4 5
+1 2 3.5
+2 1 3.5
+3 4 -1.0e2
+1 1 7.0
+4 3 2
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Errorf("got %s, want V=4 E=2 (diagonal dropped, duplicates merged)", g)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Error("expected edges missing")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "%%MatrixMarket matrix array real general\n2 2 0\n",
+		"bad field":    "%%MatrixMarket matrix coordinate complex symmetric\n2 2 0\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 0\n",
+		"non-square":   "%%MatrixMarket matrix coordinate pattern symmetric\n2 3 0\n",
+		"short entry":  "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1\n",
+		"out of range": "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 3\n",
+		"truncated":    "%%MatrixMarket matrix coordinate pattern symmetric\n5 5 3\n1 2\n",
+		"bad size":     "%%MatrixMarket matrix coordinate pattern symmetric\nx y z\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %q: error expected", name)
+		}
+	}
+}
+
+func TestReadMatrixMarketEmptyGraph(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n0 0 0\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Errorf("V = %d, want 0", g.NumVertices())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	property := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw % 100)
+		m := int(mRaw % 500)
+		var g *Graph
+		if n == 0 {
+			g = &Graph{}
+		} else {
+			g = randomGraph(seed, n, m)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return g.NumVertices() == h.NumVertices() && (g.NumVertices() == 0 || g.Equal(h))
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := complete(5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Truncation.
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+
+	// Corrupt adjacency payload (out-of-range neighbor) must fail Validate.
+	bad = append([]byte{}, data...)
+	bad[len(bad)-1] = 0x7f
+	bad[len(bad)-2] = 0x7f
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt adjacency accepted")
+	}
+}
+
+func TestWriteMatrixMarketHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, path(3)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n") {
+		t.Errorf("unexpected header/size: %q", out)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	property := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%100) + 1
+		m := int(mRaw % 500)
+		g := randomGraph(seed, n, m)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		h, err := ReadEdgeList(&buf, n) // pad to n for trailing isolated vertices
+		if err != nil {
+			return false
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# comment\n% also comment\n0 1\n\n1 2 extra-ignored\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("got %s, want V=3 E=2", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line": "0\n",
+		"non-number": "a b\n",
+		"negative":   "-1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("case %q: error expected", name)
+		}
+	}
+}
+
+func TestReadEdgeListMinVertices(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Errorf("V = %d, want padded 10", g.NumVertices())
+	}
+}

@@ -1,0 +1,116 @@
+// Package graphio provides format-dispatching graph file I/O for the
+// command-line tools: the serialization formats themselves live in
+// internal/graph; this package picks one by file extension.
+package graphio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"micgraph/internal/gen"
+	"micgraph/internal/graph"
+)
+
+// Format identifies a graph file serialization.
+type Format int
+
+const (
+	// MatrixMarket is the UF Sparse Matrix Collection text format (.mtx).
+	MatrixMarket Format = iota
+	// Binary is this repository's compact CSR dump (.bin).
+	Binary
+	// EdgeList is the "u v" per line text format (.el, .txt).
+	EdgeList
+)
+
+// DetectFormat picks a Format from the file extension (MatrixMarket when
+// unknown, matching the collection the paper's graphs come from).
+func DetectFormat(path string) Format {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bin":
+		return Binary
+	case ".el", ".txt":
+		return EdgeList
+	default:
+		return MatrixMarket
+	}
+}
+
+// ParseFormat converts a -format flag value.
+func ParseFormat(name string) (Format, error) {
+	switch name {
+	case "mtx":
+		return MatrixMarket, nil
+	case "bin":
+		return Binary, nil
+	case "el":
+		return EdgeList, nil
+	}
+	return 0, fmt.Errorf("graphio: unknown format %q (want mtx, bin, or el)", name)
+}
+
+// Read parses r in the given format.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	switch f {
+	case Binary:
+		return graph.ReadBinary(r)
+	case EdgeList:
+		return graph.ReadEdgeList(r, 0)
+	default:
+		return graph.ReadMatrixMarket(r)
+	}
+}
+
+// Write serialises g to w in the given format.
+func Write(w io.Writer, g *graph.Graph, f Format) error {
+	switch f {
+	case Binary:
+		return graph.WriteBinary(w, g)
+	case EdgeList:
+		return graph.WriteEdgeList(w, g)
+	default:
+		return graph.WriteMatrixMarket(w, g)
+	}
+}
+
+// ReadFile opens and parses a graph file, dispatching on its extension.
+func ReadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, DetectFormat(path))
+}
+
+// WriteFile serialises g to path in the given format.
+func WriteFile(path string, g *graph.Graph, f Format) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(out, g, f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Load resolves the CLI tools' shared -file/-graph convention: a file path
+// (any supported format) or a builtin suite graph name with a shrink scale.
+func Load(file, suiteName string, scale int) (*graph.Graph, error) {
+	switch {
+	case file != "":
+		return ReadFile(file)
+	case suiteName != "":
+		cfg, err := gen.SuiteConfig(suiteName)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Mesh(gen.Scaled(cfg, scale))
+	}
+	return nil, fmt.Errorf("graphio: need a file path or a suite graph name")
+}

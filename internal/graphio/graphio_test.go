@@ -1,0 +1,107 @@
+package graphio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"micgraph/internal/gen"
+)
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]Format{
+		"a.mtx":     MatrixMarket,
+		"a.BIN":     Binary,
+		"dir/a.el":  EdgeList,
+		"a.txt":     EdgeList,
+		"noext":     MatrixMarket,
+		"weird.xyz": MatrixMarket,
+	}
+	for path, want := range cases {
+		if got := DetectFormat(path); got != want {
+			t.Errorf("DetectFormat(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for name, want := range map[string]Format{"mtx": MatrixMarket, "bin": Binary, "el": EdgeList} {
+		got, err := ParseFormat(name)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseFormat("json"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	g := gen.RingOfCliques(12, 5)
+	for _, f := range []Format{MatrixMarket, Binary, EdgeList} {
+		var buf bytes.Buffer
+		if err := Write(&buf, g, f); err != nil {
+			t.Fatalf("format %v: %v", f, err)
+		}
+		h, err := Read(&buf, f)
+		if err != nil {
+			t.Fatalf("format %v: %v", f, err)
+		}
+		if !g.Equal(h) {
+			t.Errorf("format %v: round trip changed the graph", f)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := gen.Grid2D(9, 7)
+	dir := t.TempDir()
+	for _, name := range []string{"g.mtx", "g.bin", "g.el"} {
+		path := filepath.Join(dir, name)
+		format := DetectFormat(path)
+		if err := WriteFile(path, g, format); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.Equal(h) {
+			t.Errorf("%s: file round trip changed the graph", name)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := WriteFile(filepath.Join(dir, "nodir", "x.mtx"), g, MatrixMarket); err == nil {
+		t.Error("unwritable path accepted")
+	}
+	if !os.IsNotExist(errOf(ReadFile(filepath.Join(dir, "missing.mtx")))) {
+		t.Error("missing file error is not os.IsNotExist")
+	}
+}
+
+func errOf(_ any, err error) error { return err }
+
+func TestLoad(t *testing.T) {
+	g, err := Load("", "pwtk", 16)
+	if err != nil || g.NumVertices() == 0 {
+		t.Fatalf("Load suite: %v", err)
+	}
+	if _, err := Load("", "bogus", 1); err == nil {
+		t.Error("unknown suite graph accepted")
+	}
+	if _, err := Load("", "", 1); err == nil {
+		t.Error("empty spec accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	if err := WriteFile(path, g, Binary); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Load(path, "", 1)
+	if err != nil || !g.Equal(h) {
+		t.Errorf("Load file: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package irregular implements the paper's irregular-computation
+// microbenchmark (Algorithm 5): a traversal of a computational dependency
+// graph where each vertex's double-precision state is repeatedly averaged
+// with its neighbors' states. The iteration count `iter` scales the
+// computation-to-communication ratio — the knob Figure 3 sweeps (1, 3, 5,
+// 10 iterations). The kernel "is a reasonable abstraction of a single
+// iteration of algorithms such as Page Rank or Heat Equation solvers and
+// has data dependencies similar to a sparse matrix vector multiplication".
+//
+// All parallel variants read the neighbor states of the *input* snapshot
+// and write a separate output array (Jacobi-style), so results are
+// deterministic and identical across runtimes and thread counts, matching
+// how such kernels are written in practice.
+package irregular
+
+import (
+	"math"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/sched"
+)
+
+// InitialState returns the canonical deterministic starting state used by
+// the benchmarks: state[v] = 1 + (v mod 97) / 97.
+func InitialState(n int) []float64 {
+	s := make([]float64, n)
+	for v := range s {
+		s[v] = 1 + float64(v%97)/97
+	}
+	return s
+}
+
+// updateOne computes iter averaging sweeps of vertex v against the frozen
+// input snapshot, exactly as Algorithm 5's inner loop.
+func updateOne(g *graph.Graph, in []float64, v int32, iter int) float64 {
+	adj := g.Adj(v)
+	x := in[v]
+	inv := 1 / float64(len(adj)+1)
+	for it := 0; it < iter; it++ {
+		sum := x
+		for _, w := range adj {
+			sum += in[w]
+		}
+		x = sum * inv
+	}
+	return x
+}
+
+// Sequential runs the kernel once over every vertex and returns the output
+// state. iter must be >= 1.
+func Sequential(g *graph.Graph, in []float64, iter int) []float64 {
+	out := make([]float64, len(in))
+	for v := 0; v < g.NumVertices(); v++ {
+		out[v] = updateOne(g, in, int32(v), iter)
+	}
+	return out
+}
+
+// Team runs the kernel on an OpenMP-style Team.
+func Team(g *graph.Graph, in []float64, iter int, team *sched.Team, opts sched.ForOptions) []float64 {
+	out := make([]float64, len(in))
+	team.For(g.NumVertices(), opts, func(lo, hi, w int) {
+		for v := lo; v < hi; v++ {
+			out[v] = updateOne(g, in, int32(v), iter)
+		}
+	})
+	return out
+}
+
+// Cilk runs the kernel as a cilk_for on the work-stealing pool.
+func Cilk(g *graph.Graph, in []float64, iter int, pool *sched.Pool, grain int) []float64 {
+	out := make([]float64, len(in))
+	pool.ParallelFor(g.NumVertices(), grain, func(lo, hi int, c *sched.Ctx) {
+		for v := lo; v < hi; v++ {
+			out[v] = updateOne(g, in, int32(v), iter)
+		}
+	})
+	return out
+}
+
+// TBB runs the kernel as a TBB parallel_for over a blocked range.
+func TBB(g *graph.Graph, in []float64, iter int, pool *sched.Pool, part sched.Partitioner, grain int) []float64 {
+	out := make([]float64, len(in))
+	var aff sched.AffinityState
+	sched.ParallelForRange(pool, sched.Range{Lo: 0, Hi: g.NumVertices(), Grain: grain}, part, &aff,
+		func(lo, hi int, c *sched.Ctx) {
+			for v := lo; v < hi; v++ {
+				out[v] = updateOne(g, in, int32(v), iter)
+			}
+		})
+	return out
+}
+
+// Sweep runs `sweeps` Jacobi relaxations (each one full kernel application)
+// and returns the final state; a building block for the heat-equation
+// example.
+func Sweep(g *graph.Graph, state []float64, iter, sweeps int, team *sched.Team, opts sched.ForOptions) []float64 {
+	cur := state
+	for s := 0; s < sweeps; s++ {
+		cur = Team(g, cur, iter, team, opts)
+	}
+	return cur
+}
+
+// MaxAbsDiff returns the maximum absolute element difference of a and b
+// (useful for convergence checks and cross-runtime validation).
+func MaxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}

@@ -1,0 +1,292 @@
+package mic
+
+import (
+	"math"
+
+	"micgraph/internal/graph"
+)
+
+// Trace builders: convert one kernel execution on one graph into the
+// phase-structured cost profile the simulator plays. Costs use the target
+// machine's building-block constants; structure (level widths, conflict
+// rounds, per-vertex degrees) comes from the real graph.
+
+// Ordering describes the vertex-id locality of the graph being traced,
+// selecting the expected miss rate per neighbor access (§V-B: natural FEM
+// ordering vs random shuffle).
+type Ordering int
+
+const (
+	// NaturalOrder: the generator's clique-major ordering (FEM-like
+	// locality; neighbor accesses mostly hit the cache).
+	NaturalOrder Ordering = iota
+	// ShuffledOrder: random vertex ids; nearly every access misses.
+	ShuffledOrder
+)
+
+func (o Ordering) String() string {
+	if o == ShuffledOrder {
+		return "shuffled"
+	}
+	return "natural"
+}
+
+func (m *Machine) missPerEdge(o Ordering) float64 {
+	if o == ShuffledOrder {
+		return m.MissPerEdgeShuffle
+	}
+	return m.MissPerEdgeNatural
+}
+
+// CacheWindow is the number of consecutive vertex ids whose data
+// comfortably fits in a core's share of the cache hierarchy; neighbor
+// accesses within the window are modeled as hits.
+const CacheWindow = 32768
+
+// EffectiveMissPerEdge estimates the per-neighbor-access miss rate of g
+// under its *current* vertex numbering from its bandwidth: orderings whose
+// neighbors stay within CacheWindow behave like the natural FEM order,
+// and the rate rises log-linearly to the fully shuffled rate as the
+// bandwidth approaches |V|. This lets the simulator score arbitrary
+// reorderings (RCM, BFS order) between the paper's two extremes.
+func (m *Machine) EffectiveMissPerEdge(g *graph.Graph) float64 {
+	n := float64(g.NumVertices())
+	bw := float64(g.Bandwidth())
+	if bw <= CacheWindow || n <= CacheWindow {
+		return m.MissPerEdgeNatural
+	}
+	frac := math.Log(bw/CacheWindow) / math.Log(n/CacheWindow)
+	if frac > 1 {
+		frac = 1
+	}
+	return m.MissPerEdgeNatural + (m.MissPerEdgeShuffle-m.MissPerEdgeNatural)*frac
+}
+
+// vertexScanWork returns the cost of scanning v's adjacency once: issue for
+// the loop, stalls for the neighbor-array and color/level/state gathers.
+func vertexScanWork(m *Machine, g *graph.Graph, v int32, miss float64) Work {
+	d := float64(g.Degree(v))
+	return Work{
+		Issue: m.IssuePerItem + m.IssuePerEdge*d,
+		Stall: (0.15 + miss*d) * m.StallPerLine,
+	}
+}
+
+// ConflictRate is the fraction of vertices expected to need recoloring per
+// speculative round when more than one thread runs; it scales with how much
+// of the graph is processed concurrently. Measured rates in the paper's
+// regime are a fraction of a percent of |V|.
+const ConflictRate = 0.004
+
+// ColoringTrace builds the trace of the iterative parallel coloring
+// (Algorithms 2–4) on g for a run with t threads: per round, a tentative
+// coloring phase and a conflict-detection phase over the current Visit set.
+// Conflict counts shrink geometrically; the expected count depends on t
+// (one thread ⇒ no conflicts), which is why the builder takes t.
+func ColoringTrace(m *Machine, g *graph.Graph, o Ordering, t int) *Trace {
+	return ColoringTraceMiss(m, g, m.missPerEdge(o), t)
+}
+
+// ColoringTraceMiss is ColoringTrace with an explicit per-edge miss rate,
+// for scoring arbitrary vertex orderings (see EffectiveMissPerEdge).
+func ColoringTraceMiss(m *Machine, g *graph.Graph, miss float64, t int) *Trace {
+	n := g.NumVertices()
+	tr := &Trace{Name: "coloring"}
+	if n == 0 {
+		return tr
+	}
+
+	visitSize := n
+	offset := 0
+	for round := 0; visitSize > 0; round++ {
+		tentative := make([]Work, visitSize)
+		detect := make([]Work, visitSize)
+		stride := n / visitSize
+		for i := 0; i < visitSize; i++ {
+			// Visit sets beyond round one are spread across the graph; pick
+			// representative vertices by striding so degree structure
+			// (hubs!) is preserved.
+			v := int32((offset + i*stride) % n)
+			w := vertexScanWork(m, g, v, miss)
+			// Tentative: scan neighbors, mark forbidden, first-fit scan,
+			// store the color.
+			tent := w
+			tent.Issue += 8 // first-fit scan + color store
+			tentative[i] = tent
+			// Detection: scan neighbors comparing colors; conflicts append
+			// with an atomic fetch-and-add.
+			det := w
+			det.Atomics = ConflictRate // amortised conflict-append
+			detect[i] = det
+		}
+		tr.Phases = append(tr.Phases,
+			Phase{Name: "tentative", Items: tentative},
+			Phase{Name: "detect", Items: detect, Seq: 40},
+		)
+		if t <= 1 {
+			break // sequential speculation never conflicts
+		}
+		next := int(float64(visitSize) * ConflictRate * (1 - 1/float64(t)))
+		if next >= visitSize {
+			next = visitSize - 1
+		}
+		visitSize = next
+		offset += 131 // decorrelate successive rounds' representatives
+	}
+	return tr
+}
+
+// FPLatency is the latency in cycles of a dependent floating-point add on
+// the simulated in-order core; only 1 cycle of it occupies the FP unit
+// (pipelined), the rest is exposed stall that SMT can hide. The irregular
+// kernel's neighbor sum is a serial dependency chain, which is exactly why
+// the paper sees SMT double its throughput even at high arithmetic
+// intensity.
+const FPLatency = 4
+
+// IrregularTrace builds the trace of the irregular-computation
+// microbenchmark (Algorithm 5) with the given iteration count. Only the
+// first sweep misses on neighbor state (later sweeps reuse the lines), so
+// iter scales compute but not memory traffic — the paper's
+// computation-to-communication knob.
+func IrregularTrace(m *Machine, g *graph.Graph, o Ordering, iter int) *Trace {
+	n := g.NumVertices()
+	items := make([]Work, n)
+	for v := 0; v < n; v++ {
+		d := float64(g.Degree(int32(v)))
+		fi := float64(iter)
+		ops := fi * (d + 2) // adds along the chain + the final scale
+		miss := m.missPerEdge(o)
+		items[v] = Work{
+			Issue: fi * (m.IssuePerItem + m.IssuePerEdge*d),
+			FP:    ops * m.FPPerOp,
+			Stall: (0.15+miss*d)*m.StallPerLine + ops*(FPLatency-1),
+		}
+	}
+	return &Trace{
+		Name:   "irregular",
+		Phases: []Phase{{Name: "update", Items: items}},
+	}
+}
+
+// BagGrain is the pennant-node capacity (the Leiserson–Schardl grainsize)
+// used for both the real bag and its simulated traversal chunking.
+const BagGrain = 128
+
+// BFSVariant selects the next-level data structure being traced.
+type BFSVariant int
+
+const (
+	// BFSBlock: block-accessed queue, CAS-claimed (exactly-once) insertion.
+	BFSBlock BFSVariant = iota
+	// BFSBlockRelaxed: block-accessed queue, unsynchronised claims.
+	BFSBlockRelaxed
+	// BFSTLS: SNAP-style thread-local queues, locked insertion, sequential
+	// per-level merge.
+	BFSTLS
+	// BFSBag: Leiserson–Schardl pennant bag, relaxed insertion, pointer-
+	// heavy traversal and per-level bag merges.
+	BFSBag
+)
+
+// String names the variant as in Figure 4's legends (runtime prefix is
+// added by the experiment configuration).
+func (v BFSVariant) String() string {
+	switch v {
+	case BFSBlock:
+		return "Block"
+	case BFSBlockRelaxed:
+		return "Block-relaxed"
+	case BFSTLS:
+		return "TLS"
+	case BFSBag:
+		return "Bag-relaxed"
+	}
+	return "BFS?"
+}
+
+// BFSTrace builds the per-level trace of the layered BFS from source. The
+// level structure is computed exactly (sequential BFS); each level becomes
+// one phase whose items are the level's vertices in natural order. Claims
+// (successful next-level insertions) are attributed to each vertex's
+// children count, costed per variant.
+func BFSTrace(m *Machine, g *graph.Graph, source int32, o Ordering, variant BFSVariant, blockSize int) *Trace {
+	if blockSize <= 0 {
+		blockSize = 32
+	}
+	n := g.NumVertices()
+	tr := &Trace{Name: "bfs-" + variant.String()}
+	if n == 0 {
+		return tr
+	}
+	levels, numLevels := g.Levels(source)
+
+	// Bucket vertices by level and attribute each vertex to its minimum-id
+	// parent (the canonical claim winner).
+	order := make([][]int32, numLevels)
+	claims := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if l := levels[v]; l >= 0 {
+			order[l] = append(order[l], int32(v))
+		}
+	}
+	for v := 0; v < n; v++ {
+		lv := levels[v]
+		if lv <= 0 {
+			continue
+		}
+		parent := int32(-1)
+		for _, w := range g.Adj(int32(v)) {
+			if levels[w] == lv-1 && (parent == -1 || w < parent) {
+				parent = w
+			}
+		}
+		if parent >= 0 {
+			claims[parent]++
+		}
+	}
+
+	for l := 0; l < numLevels; l++ {
+		items := make([]Work, len(order[l]))
+		var seq float64
+		var levelClaims float64
+		for i, v := range order[l] {
+			w := vertexScanWork(m, g, v, m.missPerEdge(o))
+			cl := claims[v]
+			levelClaims += cl
+			switch variant {
+			case BFSBlock:
+				// CAS per claimed child + block reservations; failed CAS
+				// races are folded into the claim cost.
+				w.Atomics += cl + cl/float64(blockSize)
+				w.Issue += 3 * cl
+			case BFSBlockRelaxed:
+				// Plain check+store; only block reservations are atomic.
+				w.Atomics += cl / float64(blockSize)
+				w.Issue += 2 * cl
+			case BFSTLS:
+				// Check-before-lock, then CAS claim, push to local queue.
+				w.Atomics += cl
+				w.Issue += 3 * cl
+			case BFSBag:
+				// Hopper append per claim, pennant-node allocation per
+				// grain, pointer-chasing misses while walking the tree.
+				w.Atomics += cl / 64
+				w.Issue += 6 + 4*cl
+				w.Stall += (2.0 / 64) * m.StallPerLine * (1 + cl)
+			}
+			items[i] = w
+		}
+		switch variant {
+		case BFSTLS:
+			// Sequential merge of thread-local queues into the global one.
+			seq += 1.5 * levelClaims
+		case BFSBag:
+			// Per-level bag merge: logarithmic pennant unions per worker
+			// plus allocator churn.
+			seq += 600 + 0.2*levelClaims
+		}
+		tr.Phases = append(tr.Phases, Phase{Name: "level", Items: items, Seq: seq})
+	}
+	return tr
+}

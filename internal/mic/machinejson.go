@@ -1,0 +1,70 @@
+package mic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON (de)serialisation for Machine, so users can explore their own
+// hardware hypotheses with `micbench -machine my.json` without recompiling
+// — the natural workflow for a what-if simulator.
+
+// SaveMachine writes m as indented JSON.
+func SaveMachine(w io.Writer, m *Machine) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// LoadMachine reads a Machine from JSON and validates it.
+func LoadMachine(r io.Reader) (*Machine, error) {
+	var m Machine
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("mic: decoding machine: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks that the machine description is physically sensible.
+func (m *Machine) Validate() error {
+	switch {
+	case m.Cores < 1:
+		return fmt.Errorf("mic: machine %q has %d cores", m.Name, m.Cores)
+	case m.SMTWays < 1:
+		return fmt.Errorf("mic: machine %q has %d SMT ways", m.Name, m.SMTWays)
+	case m.IssuePerItem < 0 || m.IssuePerEdge < 0 || m.FPPerOp < 0 || m.StallPerLine < 0:
+		return fmt.Errorf("mic: machine %q has negative kernel costs", m.Name)
+	case m.AtomicCost < 0 || m.AtomicContPerT < 0 || m.AtomicContSq < 0:
+		return fmt.Errorf("mic: machine %q has negative atomic costs", m.Name)
+	case m.MissPerEdgeNatural < 0 || m.MissPerEdgeShuffle < m.MissPerEdgeNatural:
+		return fmt.Errorf("mic: machine %q: shuffled miss rate must be >= natural", m.Name)
+	case m.CacheShareBonus < 0 || m.MemBandwidth < 0:
+		return fmt.Errorf("mic: machine %q has negative memory parameters", m.Name)
+	case m.BarrierBase < 0 || m.BarrierPerThread < 0:
+		return fmt.Errorf("mic: machine %q has negative barrier costs", m.Name)
+	}
+	return nil
+}
+
+// KNC returns a projection of the Knights Corner production part the paper
+// anticipates ("the final commercial design, codenamed Knights Corner, will
+// feature more than 50 cores"): 60 usable cores × 4-way SMT on the same
+// microarchitectural assumptions as KNF, with proportionally higher
+// aggregate memory bandwidth and slightly higher ring latencies (a longer
+// ring). Used by the extra-knc forward-projection experiment.
+func KNC() *Machine {
+	m := KNF()
+	m.Name = "Intel MIC (KNC, projected)"
+	m.Cores = 60
+	m.StallPerLine = 125 // longer ring
+	m.MemBandwidth = 250 // GDDR5 scaled with the larger part
+	m.BarrierPerThread = 30
+	m.AtomicContPerT = 0.3 // same ring protocol, more hops amortised
+	return m
+}

@@ -1,0 +1,377 @@
+package mic
+
+import (
+	"container/heap"
+	"fmt"
+
+	"micgraph/internal/sched"
+)
+
+// RuntimeKind selects which runtime engine's scheduling behaviour and
+// overhead profile the simulator applies.
+type RuntimeKind int
+
+const (
+	// OpenMP: chunked loop scheduling per sched.Policy.
+	OpenMP RuntimeKind = iota
+	// Cilk: recursive binary splitting to a grain, work stealing.
+	Cilk
+	// TBB: blocked range with a partitioner, work stealing.
+	TBB
+)
+
+// String names the runtime as in the paper's figure legends.
+func (k RuntimeKind) String() string {
+	switch k {
+	case OpenMP:
+		return "OpenMP"
+	case Cilk:
+		return "CilkPlus"
+	case TBB:
+		return "TBB"
+	}
+	return fmt.Sprintf("RuntimeKind(%d)", int(k))
+}
+
+// Config is the scheduling configuration of one simulated run.
+type Config struct {
+	Kind        RuntimeKind
+	Policy      sched.Policy      // OpenMP only
+	Partitioner sched.Partitioner // TBB only
+	Chunk       int               // OpenMP chunk size / Cilk grain / TBB grain
+}
+
+// String formats the configuration like the paper's legends
+// ("OpenMP-dynamic", "TBB-simple", "CilkPlus").
+func (c Config) String() string {
+	switch c.Kind {
+	case OpenMP:
+		return "OpenMP-" + c.Policy.String()
+	case TBB:
+		return "TBB-" + c.Partitioner.String()
+	default:
+		return "CilkPlus"
+	}
+}
+
+// chunk is a contiguous range of phase items with an owner hint.
+type chunk struct {
+	lo, hi int
+	owner  int // thread expected to run it; mismatch models a steal
+}
+
+// Simulate plays tr on machine m with t threads under cfg and returns the
+// simulated execution time in cycles. Deterministic.
+func Simulate(m *Machine, cfg Config, t int, tr *Trace) float64 {
+	if t < 1 {
+		panic(fmt.Sprintf("mic: Simulate with %d threads", t))
+	}
+	var total float64
+	for i := range tr.Phases {
+		total += simulatePhase(m, cfg, t, &tr.Phases[i])
+	}
+	return total
+}
+
+// simulatePhase runs one parallel loop: partition items into chunks per the
+// policy, assign chunks to threads (statically or greedily), apply the SMT
+// core-sharing cost model, cap by memory bandwidth, add the barrier.
+func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
+	n := len(p.Items)
+	if n == 0 {
+		return p.Seq
+	}
+
+	// Prefix sums for O(1) chunk aggregation.
+	prefix := make([]Work, n+1)
+	for i, it := range p.Items {
+		prefix[i+1] = prefix[i]
+		prefix[i+1].Add(it)
+	}
+	sum := func(lo, hi int) Work {
+		w := prefix[hi]
+		w.Issue -= prefix[lo].Issue
+		w.FP -= prefix[lo].FP
+		w.Stall -= prefix[lo].Stall
+		w.Atomics -= prefix[lo].Atomics
+		return w
+	}
+
+	plan := planChunks(m, cfg, t, n)
+
+	atomicCost := m.AtomicCost + m.AtomicContPerT*float64(t-1) + m.AtomicContSq*float64(t)*float64(t)
+	// Dynamic and guided chunk grabs are fetch-adds on one hot counter:
+	// they pay the same contention as any other atomic.
+	if cfg.Kind == OpenMP && cfg.Policy != sched.Static && t > 1 {
+		plan.perChunkIssue += atomicCost
+	}
+	itemTax := plan.taxScale * runtimeItemTax(m, cfg) * float64(t) * float64(t)
+	clocks := make([]float64, t)
+	var stallServed float64
+
+	cost := func(c chunk, thread int) float64 {
+		w := sum(c.lo, c.hi)
+		k := m.Coresidency(t, thread)
+		issue := w.Issue + plan.perChunkIssue
+		if thread != c.owner {
+			issue += stealPenalty(m, cfg)
+		}
+		sEff := w.Stall / (1 + m.CacheShareBonus*float64(k-1))
+		stallServed += sEff
+		latency := issue + w.FP + sEff
+		total := latency
+		if saturated := float64(k) * (issue + w.FP); saturated > total {
+			total = saturated
+		}
+		// Scheduler interference and atomic RMWs are contention/waiting,
+		// not issue work: they extend the thread's wall time but do not
+		// occupy core slots, so they sit outside the saturation max.
+		total += itemTax*float64(c.hi-c.lo) + w.Atomics*atomicCost
+		// The last core also runs the card OS; its threads run slower.
+		// With t < Cores no thread lands there, so lightly loaded runs
+		// (and the 1-thread baseline) are unaffected.
+		if thread%m.Cores == m.Cores-1 && t >= m.Cores {
+			total *= 1 + m.NoiseCore0
+		}
+		return total
+	}
+
+	if plan.greedy {
+		// First-come first-served: each chunk goes to the earliest-free
+		// thread (ties broken by thread id for determinism).
+		h := newClockHeap(t)
+		for _, c := range plan.chunks {
+			e := heap.Pop(h).(clockEntry)
+			e.clock += cost(c, e.thread)
+			heap.Push(h, e)
+		}
+		for h.Len() > 0 {
+			e := heap.Pop(h).(clockEntry)
+			clocks[e.thread] = e.clock
+		}
+	} else {
+		for _, c := range plan.chunks {
+			clocks[c.owner] += cost(c, c.owner)
+		}
+	}
+
+	phaseTime := 0.0
+	for _, c := range clocks {
+		if c > phaseTime {
+			phaseTime = c
+		}
+	}
+	// Aggregate bandwidth ceiling: the memory system can retire at most
+	// MemBandwidth stall-cycles per cycle machine-wide.
+	if m.MemBandwidth > 0 {
+		if bw := stallServed / m.MemBandwidth; bw > phaseTime {
+			phaseTime = bw
+		}
+	}
+	// The shared chunk counter serialises grabs machine-wide: a phase can
+	// never finish faster than one line-bounce per chunk, and the bounce
+	// latency grows with the number of contending threads on the ring.
+	if cfg.Kind == OpenMP && cfg.Policy != sched.Static && t > 1 {
+		if ser := float64(len(plan.chunks)) * (m.AtomicCost + m.AtomicContPerT*float64(t)); ser > phaseTime {
+			phaseTime = ser
+		}
+	}
+	if t > 1 {
+		phaseTime += m.BarrierBase + m.BarrierPerThread*float64(t)
+	}
+	if cfg.Kind == OpenMP && m.OMPOversubPenalty > 0 && t >= m.MaxThreads()-1 {
+		phaseTime *= 1 + m.OMPOversubPenalty
+	}
+	return phaseTime + p.Seq
+}
+
+// runtimeItemTax returns the per-item, per-t² scheduler interference of the
+// configured runtime (zero for OpenMP's lean static loops).
+func runtimeItemTax(m *Machine, cfg Config) float64 {
+	switch cfg.Kind {
+	case Cilk:
+		return m.CilkItemTaxSq
+	case TBB:
+		return m.TBBItemTaxSq
+	}
+	return 0
+}
+
+// stealPenalty is the extra cost charged when a chunk executes away from
+// its owner thread.
+func stealPenalty(m *Machine, cfg Config) float64 {
+	switch cfg.Kind {
+	case Cilk:
+		return m.StealCost * m.CilkRuntimeScale
+	case TBB:
+		return m.StealCost * m.TBBRuntimeScale
+	default:
+		return 0
+	}
+}
+
+// plan describes how a phase's items are chunked and assigned.
+type plan struct {
+	chunks        []chunk
+	perChunkIssue float64
+	greedy        bool    // FCFS assignment instead of fixed owners
+	taxScale      float64 // multiplier on the runtime's per-item tax
+}
+
+// planChunks builds the chunk plan for a phase of n items under cfg.
+func planChunks(m *Machine, cfg Config, t, n int) plan {
+	wsOver := func(scale float64) float64 {
+		return scale * (2*m.SpawnCost + m.WSContendPerT*float64(t))
+	}
+	switch cfg.Kind {
+	case OpenMP:
+		switch cfg.Policy {
+		case sched.Static:
+			return plan{staticChunks(t, n, cfg.Chunk), m.StaticChunkCost, false, 1}
+		case sched.Dynamic:
+			size := cfg.Chunk
+			if size <= 0 {
+				size = 1
+			}
+			return plan{staticChunks(t, n, size), m.DynamicGrabCost, true, 1}
+		case sched.Guided:
+			return plan{guidedChunks(t, n, cfg.Chunk), m.DynamicGrabCost, true, 1}
+		}
+	case Cilk:
+		grain := cfg.Chunk
+		if grain <= 0 {
+			grain = sched.DefaultGrain(n, t)
+		}
+		return plan{splitChunks(t, n, grain), wsOver(m.CilkRuntimeScale), true, 1}
+	case TBB:
+		grain := cfg.Chunk
+		if grain <= 0 {
+			grain = 1
+		}
+		switch cfg.Partitioner {
+		case sched.SimplePartitioner:
+			return plan{splitChunks(t, n, grain), wsOver(m.TBBRuntimeScale), true, 1}
+		case sched.AutoPartitioner:
+			// Coarse subranges that split only on steal events: fewer,
+			// larger chunks, and extra scheduler traffic when the late
+			// splits finally happen.
+			auto := n / (3 * t)
+			if auto < grain {
+				auto = grain
+			}
+			return plan{splitChunks(t, n, auto), wsOver(m.TBBRuntimeScale), true, 1.15}
+		case sched.AffinityPartitioner:
+			// Fixed replayed assignment: 4 blocks per thread, round-robin,
+			// dispatched as tasks but never rebalanced, plus the replay
+			// bookkeeping on every touched element.
+			size := (n + 4*t - 1) / (4 * t)
+			if size < grain {
+				size = grain
+			}
+			return plan{staticChunks(t, n, size), wsOver(m.TBBRuntimeScale), false, 1.5}
+		}
+	}
+	panic(fmt.Sprintf("mic: unsupported config %+v", cfg))
+}
+
+// staticChunks: fixed size, owner = chunk index mod t (round-robin); with
+// size <= 0, one contiguous block per thread.
+func staticChunks(t, n, size int) []chunk {
+	var out []chunk
+	if size <= 0 {
+		for w := 0; w < t; w++ {
+			lo, hi := n*w/t, n*(w+1)/t
+			if lo < hi {
+				out = append(out, chunk{lo, hi, w})
+			}
+		}
+		return out
+	}
+	for i, lo := 0, 0; lo < n; i, lo = i+1, lo+size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, chunk{lo, hi, i % t})
+	}
+	return out
+}
+
+// guidedChunks: size = max(min, remaining/t), shrinking geometrically.
+func guidedChunks(t, n, minChunk int) []chunk {
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	var out []chunk
+	lo := 0
+	i := 0
+	for lo < n {
+		size := (n - lo) / t
+		if size < minChunk {
+			size = minChunk
+		}
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, chunk{lo, hi, i % t})
+		lo = hi
+		i++
+	}
+	return out
+}
+
+// splitChunks: leaves of the recursive binary split used by cilk_for and
+// tbb simple partitioner.
+func splitChunks(t, n, grain int) []chunk {
+	var out []chunk
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo <= grain {
+			out = append(out, chunk{lo: lo, hi: hi})
+			return
+		}
+		mid := lo + (hi-lo)/2
+		rec(lo, mid)
+		rec(mid, hi)
+	}
+	rec(0, n)
+	for i := range out {
+		out[i].owner = i % t
+	}
+	return out
+}
+
+// clockHeap is a min-heap of thread clocks with deterministic tie-breaking.
+type clockEntry struct {
+	clock  float64
+	thread int
+}
+
+type clockHeap []clockEntry
+
+func newClockHeap(t int) *clockHeap {
+	h := make(clockHeap, t)
+	for i := range h {
+		h[i] = clockEntry{0, i}
+	}
+	heap.Init(&h)
+	return &h
+}
+
+func (h clockHeap) Len() int { return len(h) }
+func (h clockHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].thread < h[j].thread
+}
+func (h clockHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *clockHeap) Push(x any)   { *h = append(*h, x.(clockEntry)) }
+func (h *clockHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,81 @@
+package mic
+
+// Work is the cost vector of one work item (typically: process one vertex
+// or queue entry): issue cycles that occupy the core's pipeline, FP cycles
+// that occupy the core's FP unit, and stall cycles that overlap with other
+// hardware threads (memory latency).
+type Work struct {
+	Issue   float64
+	FP      float64
+	Stall   float64
+	Atomics float64 // count of atomic RMW operations (costed per machine)
+}
+
+// Add accumulates o into w.
+func (w *Work) Add(o Work) {
+	w.Issue += o.Issue
+	w.FP += o.FP
+	w.Stall += o.Stall
+	w.Atomics += o.Atomics
+}
+
+// Scale returns w with every component multiplied by f.
+func (w Work) Scale(f float64) Work {
+	return Work{Issue: w.Issue * f, FP: w.FP * f, Stall: w.Stall * f, Atomics: w.Atomics * f}
+}
+
+// Total returns the single-thread latency of the item, excluding atomics
+// (whose cost is machine-dependent).
+func (w Work) Total() float64 { return w.Issue + w.FP + w.Stall }
+
+// Phase is one parallel loop of a kernel: a list of per-item costs executed
+// under the run's scheduling policy, followed by an implicit barrier, plus
+// optional sequential work (queue merges, swaps) executed by one thread.
+type Phase struct {
+	Name  string
+	Items []Work
+	Seq   float64 // sequential cycles after the barrier (merges, reductions)
+}
+
+// TotalWork returns the aggregate cost vector of the phase's items.
+func (p *Phase) TotalWork() Work {
+	var t Work
+	for _, it := range p.Items {
+		t.Add(it)
+	}
+	return t
+}
+
+// Trace is the phase-structured cost profile of one kernel execution on one
+// graph. It is independent of machine and thread count except where a
+// kernel's algorithmic structure itself depends on them (e.g. speculative
+// coloring conflicts), which the trace builders in kernels.go parameterise
+// explicitly.
+type Trace struct {
+	Name   string
+	Phases []Phase
+}
+
+// SerialTime returns the trace's total single-thread item latency plus
+// sequential work — the quantity the simulator's 1-thread run reproduces up
+// to per-chunk overheads.
+func (tr *Trace) SerialTime() float64 {
+	var total float64
+	for i := range tr.Phases {
+		p := &tr.Phases[i]
+		for _, it := range p.Items {
+			total += it.Total()
+		}
+		total += p.Seq
+	}
+	return total
+}
+
+// NumItems returns the total number of work items across phases.
+func (tr *Trace) NumItems() int {
+	n := 0
+	for i := range tr.Phases {
+		n += len(tr.Phases[i].Items)
+	}
+	return n
+}

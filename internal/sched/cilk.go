@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"micgraph/internal/xrand"
+)
+
+// Pool is a Cilk Plus-style work-stealing runtime: each worker owns a deque,
+// pushes spawned tasks at the bottom, and steals from the top of a randomly
+// chosen victim when idle. Pool also underlies the TBB-style partitioners in
+// tbb.go. Create with NewPool, release with Close.
+type Pool struct {
+	workers []*worker
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queued  atomic.Int64
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// worker is one scheduler thread of the pool.
+type worker struct {
+	pool   *Pool
+	id     int
+	dq     deque
+	rng    *xrand.Rand
+	stolen bool // whether the task currently executing was obtained by theft
+}
+
+// scope tracks the outstanding children of one spawning task, so Sync knows
+// when they have all completed.
+type scope struct {
+	pending atomic.Int64
+	done    chan struct{} // non-nil only for the root scope
+}
+
+func (sc *scope) complete() {
+	if sc.pending.Add(-1) == 0 && sc.done != nil {
+		close(sc.done)
+	}
+}
+
+// Ctx is the handle a task uses to spawn children, wait for them, and
+// identify its worker (for thread-local storage). A Ctx is only valid within
+// the task invocation it was passed to.
+type Ctx struct {
+	w  *worker
+	sc *scope
+}
+
+// Worker returns the executing worker's id in [0, Workers()).
+func (c *Ctx) Worker() int { return c.w.id }
+
+// Pool returns the pool executing this task.
+func (c *Ctx) Pool() *Pool { return c.w.pool }
+
+// Stolen reports whether the currently executing task was obtained by
+// stealing rather than popped from the owner's deque. The TBB auto
+// partitioner uses this signal ("it creates some subranges first and
+// subdivides a range further only when it gets stolen").
+func (c *Ctx) Stolen() bool { return c.w.stolen }
+
+// NewPool creates a work-stealing pool with n workers.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("sched: NewPool(%d): need at least one worker", n))
+	}
+	p := &Pool{workers: make([]*worker, n)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < n; i++ {
+		p.workers[i] = &worker{pool: p, id: i, rng: xrand.New(uint64(i)*0x9E3779B97F4A7C15 + 1)}
+	}
+	p.wg.Add(n)
+	for _, w := range p.workers {
+		go w.loop()
+	}
+	return p
+}
+
+// Workers returns the number of workers.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Close shuts the pool down. Outstanding tasks are abandoned; only call
+// Close after every Run has returned.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Run executes root on the pool and blocks until root and every task it
+// transitively spawned have completed (Cilk's implicit sync at function
+// exit applies to every task).
+func (p *Pool) Run(root func(*Ctx)) {
+	if p.closed.Load() {
+		panic("sched: Run on closed Pool")
+	}
+	rootScope := &scope{done: make(chan struct{})}
+	rootScope.pending.Add(1)
+	p.submit(p.workers[0], task{scope: rootScope, fn: func(w *worker) {
+		runTask(w, rootScope, root)
+	}})
+	<-rootScope.done
+}
+
+// runTask executes fn in a fresh child scope and performs the implicit sync.
+func runTask(w *worker, parent *scope, fn func(*Ctx)) {
+	ctx := &Ctx{w: w, sc: &scope{}}
+	fn(ctx)
+	ctx.Sync() // implicit sync at task exit
+	parent.complete()
+}
+
+// Spawn schedules f to run concurrently with the continuation of the
+// current task. The child is pushed on the executing worker's own deque
+// (work-first would run it immediately; help-first matches how thieves in
+// the paper's runtimes pick up whole subtrees and is what we implement).
+func (c *Ctx) Spawn(f func(*Ctx)) {
+	sc := c.sc
+	sc.pending.Add(1)
+	w := c.w
+	w.pool.submit(w, task{scope: sc, fn: func(wrk *worker) {
+		runTask(wrk, sc, f)
+	}})
+}
+
+// Sync blocks until every task spawned by this Ctx has completed. While
+// waiting, the worker executes other available tasks (its own first, then
+// stolen ones), so Sync never wastes the worker.
+func (c *Ctx) Sync() {
+	w := c.w
+	for c.sc.pending.Load() > 0 {
+		if !w.tryRunOne() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// submit enqueues t on w's deque and wakes a sleeping worker.
+func (p *Pool) submit(w *worker, t task) {
+	w.dq.pushBottom(t)
+	p.queued.Add(1)
+	p.mu.Lock()
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// submitTo enqueues a task for a specific worker id (used by the affinity
+// partitioner to replay a previous distribution).
+func (p *Pool) submitTo(workerID int, sc *scope, f func(*Ctx)) {
+	sc.pending.Add(1)
+	w := p.workers[workerID%len(p.workers)]
+	p.submit(w, task{scope: sc, fn: func(wrk *worker) {
+		runTask(wrk, sc, f)
+	}})
+}
+
+// loop is the worker scheduler: pop own work, else steal, else sleep.
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	p := w.pool
+	for {
+		if w.tryRunOne() {
+			continue
+		}
+		p.mu.Lock()
+		for p.queued.Load() == 0 && !p.closed.Load() {
+			p.cond.Wait()
+		}
+		closed := p.closed.Load() && p.queued.Load() == 0
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// tryRunOne executes one task if any is available, preferring the worker's
+// own deque and falling back to stealing from random victims. It reports
+// whether a task ran.
+func (w *worker) tryRunOne() bool {
+	p := w.pool
+	if t, ok := w.dq.popBottom(); ok {
+		p.queued.Add(-1)
+		w.runWith(t, false)
+		return true
+	}
+	// Random victim selection, one full tour of the other workers.
+	n := len(p.workers)
+	if n == 1 {
+		return false
+	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := p.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if t, ok := v.dq.stealTop(); ok {
+			p.queued.Add(-1)
+			w.runWith(t, true)
+			return true
+		}
+	}
+	return false
+}
+
+// runWith executes t with the stolen flag set appropriately for the
+// duration of the task (saving/restoring around nested execution in Sync).
+func (w *worker) runWith(t task, stolen bool) {
+	prev := w.stolen
+	w.stolen = stolen
+	t.fn(w)
+	w.stolen = prev
+}
+
+// DefaultGrain mirrors Cilk Plus's cilk_for default grain size:
+// min(2048, ceil(n / (8 * workers))).
+func DefaultGrain(n, workers int) int {
+	g := (n + 8*workers - 1) / (8 * workers)
+	if g > 2048 {
+		g = 2048
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// For executes body over [lo, hi) by recursive binary splitting down to
+// grain (cilk_for). grain <= 0 selects DefaultGrain. body receives the
+// subrange and a Ctx for nested spawning and TLS access.
+func (c *Ctx) For(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
+	if hi <= lo {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain(hi-lo, c.w.pool.Workers())
+	}
+	c.forSplit(lo, hi, grain, body)
+	c.Sync()
+}
+
+func (c *Ctx) forSplit(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		lo2, hi2 := lo, mid
+		c.Spawn(func(cc *Ctx) {
+			cc.forSplit(lo2, hi2, grain, body)
+		})
+		lo = mid
+	}
+	body(lo, hi, c)
+}
+
+// ParallelFor is the convenience entry point: run a cilk_for over [0, n) as
+// the root task of the pool.
+func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int, c *Ctx)) {
+	p.Run(func(c *Ctx) {
+		c.For(0, n, grain, body)
+	})
+}

@@ -1,0 +1,66 @@
+package sched
+
+import "sync"
+
+// task is one unit of work in the work-stealing pool. ctx identifies the
+// spawning scope so Sync can account for completions.
+type task struct {
+	fn    func(w *worker)
+	scope *scope
+}
+
+// deque is a double-ended work queue: the owning worker pushes and pops at
+// the bottom (LIFO, preserving the sequential order Cilk relies on), thieves
+// steal from the top (FIFO, taking the oldest — and in recursive
+// decompositions the largest — work, "the deepest half of the stack" in the
+// paper's description).
+//
+// The implementation is mutex-based. A lock-free Chase-Lev deque would cut
+// the constant factor, but the kernels built on this pool measure simulated
+// time (package mic), not wall-clock scheduling overhead, so correctness and
+// clarity win here.
+type deque struct {
+	mu    sync.Mutex
+	items []task
+}
+
+// pushBottom adds t at the bottom (owner only).
+func (d *deque) pushBottom(t task) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// popBottom removes the most recently pushed task (owner only).
+func (d *deque) popBottom() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return task{}, false
+	}
+	t := d.items[n-1]
+	d.items[n-1] = task{} // release references
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+// stealTop removes the oldest task (thieves).
+func (d *deque) stealTop() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return task{}, false
+	}
+	t := d.items[0]
+	d.items[0] = task{}
+	d.items = d.items[1:]
+	return t, true
+}
+
+// size returns the current number of queued tasks.
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// coverageCheck runs loop and verifies every index in [0, n) was visited
+// exactly once.
+func coverageCheck(t *testing.T, n int, loop func(mark func(i int))) {
+	t.Helper()
+	counts := make([]int32, n)
+	loop(func(i int) {
+		if i < 0 || i >= n {
+			t.Errorf("index %d out of [0,%d)", i, n)
+			return
+		}
+		atomic.AddInt32(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times, want 1", i, c)
+		}
+	}
+}
+
+func TestTeamForAllPolicies(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	for _, pol := range []Policy{Static, Dynamic, Guided} {
+		for _, chunk := range []int{0, 1, 3, 7, 100, 1000} {
+			pol, chunk := pol, chunk
+			t.Run(pol.String(), func(t *testing.T) {
+				coverageCheck(t, 537, func(mark func(int)) {
+					team.For(537, ForOptions{Policy: pol, Chunk: chunk}, func(lo, hi, w int) {
+						if w < 0 || w >= 4 {
+							t.Errorf("worker id %d out of range", w)
+						}
+						for i := lo; i < hi; i++ {
+							mark(i)
+						}
+					})
+				})
+			})
+		}
+	}
+}
+
+func TestTeamForEmptyAndTiny(t *testing.T) {
+	team := NewTeam(8)
+	defer team.Close()
+	called := int32(0)
+	team.For(0, ForOptions{}, func(lo, hi, w int) { atomic.AddInt32(&called, 1) })
+	if called != 0 {
+		t.Error("body called for empty loop")
+	}
+	// n smaller than worker count: every index still covered exactly once.
+	coverageCheck(t, 3, func(mark func(int)) {
+		team.ForEach(3, ForOptions{Policy: Dynamic}, func(i, w int) { mark(i) })
+	})
+}
+
+func TestTeamForEach(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	var sum atomic.Int64
+	team.ForEach(100, ForOptions{Policy: Guided, Chunk: 4}, func(i, w int) {
+		sum.Add(int64(i))
+	})
+	if sum.Load() != 4950 {
+		t.Errorf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+func TestTeamSingleWorker(t *testing.T) {
+	team := NewTeam(1)
+	defer team.Close()
+	order := make([]int, 0, 10)
+	team.For(10, ForOptions{Policy: Static, Chunk: 0}, func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			order = append(order, i)
+		}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker static order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestTeamMaxReduce(t *testing.T) {
+	team := NewTeam(5)
+	defer team.Close()
+	got := team.MaxReduce(-1, func(w int, localMax *int) {
+		if v := w * 10; v > *localMax {
+			*localMax = v
+		}
+	})
+	if got != 40 {
+		t.Errorf("MaxReduce = %d, want 40", got)
+	}
+}
+
+func TestTeamCoverageProperty(t *testing.T) {
+	team := NewTeam(6)
+	defer team.Close()
+	property := func(nRaw, chunkRaw uint16, polRaw uint8) bool {
+		n := int(nRaw % 2000)
+		chunk := int(chunkRaw % 50)
+		pol := Policy(polRaw % 3)
+		counts := make([]int32, n)
+		team.For(n, ForOptions{Policy: pol, Chunk: chunk}, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewTeamPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTeam(0) did not panic")
+		}
+	}()
+	NewTeam(0)
+}
+
+func TestPolicyString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy has empty name")
+	}
+}
+
+func TestTeamCloseIdempotent(t *testing.T) {
+	team := NewTeam(2)
+	team.Close()
+	team.Close() // must not panic
+}

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangeSplit(t *testing.T) {
+	r := Range{0, 100, 10}
+	if !r.IsDivisible() {
+		t.Fatal("range of 100 with grain 10 not divisible")
+	}
+	l, rr := r.Split()
+	if l.Hi != rr.Lo || l.Lo != 0 || rr.Hi != 100 {
+		t.Errorf("split = %+v, %+v", l, rr)
+	}
+	small := Range{0, 10, 10}
+	if small.IsDivisible() {
+		t.Error("range at grain still divisible")
+	}
+	if (Range{0, 5, 0}).grain() != 1 {
+		t.Error("default grain != 1")
+	}
+}
+
+func TestParallelForRangeAllPartitioners(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, part := range []Partitioner{SimplePartitioner, AutoPartitioner, AffinityPartitioner} {
+		part := part
+		t.Run(part.String(), func(t *testing.T) {
+			var aff AffinityState
+			coverageCheck(t, 997, func(mark func(int)) {
+				ParallelForRange(pool, Range{0, 997, 8}, part, &aff, func(lo, hi int, c *Ctx) {
+					for i := lo; i < hi; i++ {
+						mark(i)
+					}
+				})
+			})
+		})
+	}
+}
+
+func TestParallelForRangeEmpty(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	called := int32(0)
+	ParallelForRange(pool, Range{5, 5, 1}, SimplePartitioner, nil, func(lo, hi int, c *Ctx) {
+		atomic.AddInt32(&called, 1)
+	})
+	if called != 0 {
+		t.Error("body called for empty range")
+	}
+}
+
+func TestAffinityReplayCoverage(t *testing.T) {
+	// Re-running the same loop with the same AffinityState must stay correct
+	// and reuse the same block decomposition.
+	pool := NewPool(4)
+	defer pool.Close()
+	var aff AffinityState
+	for round := 0; round < 5; round++ {
+		coverageCheck(t, 503, func(mark func(int)) {
+			ParallelForRange(pool, Range{0, 503, 4}, AffinityPartitioner, &aff, func(lo, hi int, c *Ctx) {
+				for i := lo; i < hi; i++ {
+					mark(i)
+				}
+			})
+		})
+	}
+	if len(aff.blocks) == 0 || len(aff.blocks) > 16 {
+		t.Errorf("affinity produced %d blocks, want 1..16 (4*workers)", len(aff.blocks))
+	}
+}
+
+func TestAffinityPanicsWithoutState(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AffinityPartitioner without state did not panic")
+		}
+	}()
+	ParallelForRange(pool, Range{0, 10, 1}, AffinityPartitioner, nil, func(lo, hi int, c *Ctx) {})
+}
+
+func TestPartitionerString(t *testing.T) {
+	if SimplePartitioner.String() != "simple" || AutoPartitioner.String() != "auto" || AffinityPartitioner.String() != "affinity" {
+		t.Error("partitioner names wrong")
+	}
+}
+
+func TestETS(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	ets := NewETS(4, func() map[int]int { return map[int]int{} })
+	pool.ParallelFor(400, 10, func(lo, hi int, c *Ctx) {
+		m := ets.Local(c)
+		(*m)[lo] = hi
+	})
+	seen := 0
+	ets.Each(func(m *map[int]int) { seen += len(*m) })
+	if seen != countChunks(400, 10) {
+		t.Errorf("ETS recorded %d chunks, want %d", seen, countChunks(400, 10))
+	}
+}
+
+func TestCombinable(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	cb := NewCombinable(4, func() int64 { return 0 })
+	pool.ParallelFor(1000, 16, func(lo, hi int, c *Ctx) {
+		local := cb.Local(c)
+		for i := lo; i < hi; i++ {
+			*local += int64(i)
+		}
+	})
+	got := cb.Combine(0, func(a, b int64) int64 { return a + b })
+	if got != 499500 {
+		t.Errorf("Combine = %d, want 499500", got)
+	}
+}
+
+func TestCombinableMax(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	cb := NewCombinable(3, func() int { return -1 })
+	ParallelForRange(pool, Range{0, 500, 20}, SimplePartitioner, nil, func(lo, hi int, c *Ctx) {
+		local := cb.Local(c)
+		for i := lo; i < hi; i++ {
+			if v := (i * 37) % 499; v > *local {
+				*local = v
+			}
+		}
+	})
+	got := cb.Combine(-1, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	if got != 498 {
+		t.Errorf("Combine(max) = %d, want 498", got)
+	}
+}

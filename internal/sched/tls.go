@@ -1,0 +1,147 @@
+package sched
+
+// Thread-local storage and reduction hyperobjects.
+//
+// The paper's coloring kernel needs two things from each runtime: a
+// per-thread forbidden-color array (localFC) and a max reduction for the
+// color count. In Cilk Plus those are a "holder" view and a reducer_max; in
+// TBB an enumerable_thread_specific and a combinable. Both pairs share one
+// implementation here, perWorker, with the lazy-initialisation semantics the
+// paper describes ("a view is a thread local variable that is initialized
+// for a thread at the time it uses it", §IV-A2).
+
+// perWorker is a lazily initialised per-worker slot array.
+type perWorker[T any] struct {
+	slots []slot[T]
+	init  func() T
+}
+
+// slot pads entries so adjacent workers' views do not share a cache line.
+type slot[T any] struct {
+	val   T
+	ready bool
+	_     [40]byte
+}
+
+func newPerWorker[T any](workers int, init func() T) *perWorker[T] {
+	return &perWorker[T]{slots: make([]slot[T], workers), init: init}
+}
+
+// view returns the worker's slot, initialising it on first use.
+func (p *perWorker[T]) view(worker int) *T {
+	s := &p.slots[worker]
+	if !s.ready {
+		s.val = p.init()
+		s.ready = true
+	}
+	return &s.val
+}
+
+// each calls f on every initialised view.
+func (p *perWorker[T]) each(f func(*T)) {
+	for i := range p.slots {
+		if p.slots[i].ready {
+			f(&p.slots[i].val)
+		}
+	}
+}
+
+// Holder is the Cilk Plus holder hyperobject: per-worker storage created on
+// demand, typically holding scratch buffers like the coloring kernel's
+// localFC array. It must be created for a specific pool size and used only
+// from tasks of that pool.
+type Holder[T any] struct{ pw *perWorker[T] }
+
+// NewHolder creates a Holder whose views are initialised by init.
+func NewHolder[T any](workers int, init func() T) *Holder[T] {
+	return &Holder[T]{pw: newPerWorker(workers, init)}
+}
+
+// View returns the calling task's view.
+func (h *Holder[T]) View(c *Ctx) *T { return h.pw.view(c.Worker()) }
+
+// ViewAt returns the view of an explicit worker id (for Team-based loops,
+// where the OpenMP code indexes scratch space by thread id).
+func (h *Holder[T]) ViewAt(worker int) *T { return h.pw.view(worker) }
+
+// Each visits every view that was materialised.
+func (h *Holder[T]) Each(f func(*T)) { h.pw.each(f) }
+
+// ReducerMax is the Cilk Plus reducer_max hyperobject for ints: write-only
+// updates into per-worker views, reduced when Get is called.
+type ReducerMax struct {
+	pw   *perWorker[int]
+	zero int
+}
+
+// NewReducerMax creates a max reducer with the given identity value.
+func NewReducerMax(workers, identity int) *ReducerMax {
+	return &ReducerMax{
+		pw:   newPerWorker(workers, func() int { return identity }),
+		zero: identity,
+	}
+}
+
+// Update merges v into the calling task's view.
+func (r *ReducerMax) Update(c *Ctx, v int) { r.UpdateAt(c.Worker(), v) }
+
+// UpdateAt merges v into an explicit worker's view.
+func (r *ReducerMax) UpdateAt(worker int, v int) {
+	p := r.pw.view(worker)
+	if v > *p {
+		*p = v
+	}
+}
+
+// Get reduces the views and returns the maximum observed value (the
+// identity if no update happened). Only call after the parallel region.
+func (r *ReducerMax) Get() int {
+	out := r.zero
+	r.pw.each(func(p *int) {
+		if *p > out {
+			out = *p
+		}
+	})
+	return out
+}
+
+// ETS is TBB's enumerable_thread_specific: identical machinery to Holder
+// under the TBB name, kept separate so kernel code reads like its C++
+// counterpart.
+type ETS[T any] struct{ pw *perWorker[T] }
+
+// NewETS creates an enumerable thread-specific variable.
+func NewETS[T any](workers int, init func() T) *ETS[T] {
+	return &ETS[T]{pw: newPerWorker(workers, init)}
+}
+
+// Local returns the calling task's element, creating it on first use.
+func (e *ETS[T]) Local(c *Ctx) *T { return e.pw.view(c.Worker()) }
+
+// LocalAt returns the element of an explicit worker id.
+func (e *ETS[T]) LocalAt(worker int) *T { return e.pw.view(worker) }
+
+// Each visits every element that was materialised.
+func (e *ETS[T]) Each(f func(*T)) { e.pw.each(f) }
+
+// Combinable is TBB's combinable<T>: per-worker copies combined with a
+// binary functor at the end of the parallel execution.
+type Combinable[T any] struct{ pw *perWorker[T] }
+
+// NewCombinable creates a combinable whose copies are initialised by init.
+func NewCombinable[T any](workers int, init func() T) *Combinable[T] {
+	return &Combinable[T]{pw: newPerWorker(workers, init)}
+}
+
+// Local returns the calling task's copy.
+func (cb *Combinable[T]) Local(c *Ctx) *T { return cb.pw.view(c.Worker()) }
+
+// LocalAt returns the copy of an explicit worker id.
+func (cb *Combinable[T]) LocalAt(worker int) *T { return cb.pw.view(worker) }
+
+// Combine folds every materialised copy into identity with f.
+func (cb *Combinable[T]) Combine(identity T, f func(a, b T) T) T {
+	out := identity
+	cb.pw.each(func(p *T) { out = f(out, *p) })
+	return out
+}

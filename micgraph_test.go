@@ -1,0 +1,151 @@
+package micgraph
+
+import (
+	"testing"
+)
+
+func TestFacadeSuiteGraph(t *testing.T) {
+	names := SuiteNames()
+	if len(names) != 7 || names[0] != "auto" || names[6] != "pwtk" {
+		t.Fatalf("SuiteNames = %v", names)
+	}
+	g, err := SuiteGraph("hood", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty suite graph")
+	}
+	if _, err := SuiteGraph("nope", 1); err == nil {
+		t.Error("unknown suite graph accepted")
+	}
+}
+
+func TestFacadeColoringAndBFS(t *testing.T) {
+	g, err := SuiteGraph("pwtk", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := GreedyColoring(g)
+	if err := ValidateColoring(g, seq.Colors); err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelColoring(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.NumColors > g.MaxDegree()+1 {
+		t.Errorf("parallel coloring used %d colors > Δ+1", par.NumColors)
+	}
+
+	src := int32(g.NumVertices() / 2)
+	ref := BFS(g, src)
+	pres, err := ParallelBFS(g, src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.NumLevels != ref.NumLevels {
+		t.Errorf("parallel BFS levels %d != sequential %d", pres.NumLevels, ref.NumLevels)
+	}
+
+	sp := AchievableBFSSpeedup(ref.Widths, 124, 32)
+	if sp <= 1 {
+		t.Errorf("model speedup %v, want > 1 on a real profile", sp)
+	}
+}
+
+func TestFacadeIrregularKernel(t *testing.T) {
+	g, err := NewGraph(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := IrregularKernel(g, []float64{0, 3, 0}, 1, 2)
+	if out[1] != 1 { // (3+0+0)/3
+		t.Errorf("kernel output %v, want middle = 1", out)
+	}
+}
+
+func TestFacadeMachinesAndExperiment(t *testing.T) {
+	if KNF().MaxThreads() != 124 || HostXeon().MaxThreads() != 24 {
+		t.Error("machine topologies wrong")
+	}
+	exp, err := RunExperiment("table1", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != "table1" || len(exp.Rows) != 7 {
+		t.Errorf("experiment %q with %d rows", exp.ID, len(exp.Rows))
+	}
+	if _, err := RunExperiment("fig0x", 16); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeHybridBFS(t *testing.T) {
+	g, err := SuiteGraph("msdoor", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := int32(g.NumVertices() / 2)
+	res, err := HybridBFS(g, src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumLevels != BFS(g, src).NumLevels {
+		t.Error("hybrid BFS level count differs from sequential")
+	}
+	if res.TopDownLevels+res.BottomUpLevels != res.NumLevels {
+		t.Errorf("direction counts %d+%d != %d levels",
+			res.TopDownLevels, res.BottomUpLevels, res.NumLevels)
+	}
+}
+
+func TestFacadePageRank(t *testing.T) {
+	g, err := SuiteGraph("auto", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, iters := PageRank(g, 4)
+	if iters < 1 || len(rank) != g.NumVertices() {
+		t.Fatalf("PageRank returned %d ranks after %d iterations", len(rank), iters)
+	}
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+}
+
+func TestFacadeBetweennessAndRCM(t *testing.T) {
+	g, err := SuiteGraph("pwtk", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := Betweenness(g, 8, 4)
+	if len(bc) != g.NumVertices() {
+		t.Fatal("wrong length")
+	}
+	anyPositive := false
+	for _, x := range bc {
+		if x > 0 {
+			anyPositive = true
+		}
+		if x < 0 {
+			t.Fatal("negative centrality")
+		}
+	}
+	if !anyPositive {
+		t.Error("all centralities zero")
+	}
+
+	shuffled := g.Shuffled(3)
+	restored, err := shuffled.Permute(RCMPermutation(shuffled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Bandwidth() >= shuffled.Bandwidth() {
+		t.Errorf("RCM bandwidth %d not below shuffled %d", restored.Bandwidth(), shuffled.Bandwidth())
+	}
+}
