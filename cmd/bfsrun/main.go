@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +31,16 @@ func main() {
 		source  = flag.Int("source", -1, "source vertex (-1 = |V|/2 as in the paper)")
 		block   = flag.Int("block", bfs.DefaultBlockSize, "block queue block size")
 		model   = flag.Bool("model", false, "also print the §III-C achievable-speedup model")
+		timeout = flag.Duration("timeout", 0, "abort the traversal after this long (0 = no deadline)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := graphio.Load(*file, *name, *scale)
 	if err != nil {
@@ -47,31 +56,37 @@ func main() {
 	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: *block}
 	start := time.Now()
 	var res bfs.Result
+	var runErr error
 	switch *variant {
 	case "seq":
 		res = bfs.Sequential(g, src)
 	case "omp-block", "omp-block-relaxed":
 		team := sched.NewTeam(*workers)
 		defer team.Close()
-		res = bfs.BlockTeam(g, src, team, opts, *block, strings.HasSuffix(*variant, "relaxed"))
+		res, runErr = bfs.BlockTeamCtx(ctx, g, src, team, opts, *block, strings.HasSuffix(*variant, "relaxed"))
 	case "tbb-block", "tbb-block-relaxed":
 		pool := sched.NewPool(*workers)
 		defer pool.Close()
-		res = bfs.BlockTBB(g, src, pool, sched.SimplePartitioner, *block, *block,
+		res, runErr = bfs.BlockTBBCtx(ctx, g, src, pool, sched.SimplePartitioner, *block, *block,
 			strings.HasSuffix(*variant, "relaxed"))
 	case "bag":
 		pool := sched.NewPool(*workers)
 		defer pool.Close()
-		res = bfs.BagCilk(g, src, pool, 0)
+		res, runErr = bfs.BagCilkCtx(ctx, g, src, pool, 0)
 	case "tls":
 		team := sched.NewTeam(*workers)
 		defer team.Close()
-		res = bfs.TLSTeam(g, src, team, opts)
+		res, runErr = bfs.TLSTeamCtx(ctx, g, src, team, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "bfsrun: unknown variant %q\n", *variant)
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: traversal aborted after %v (%d levels done): %v\n",
+			elapsed.Round(time.Microsecond), res.NumLevels, runErr)
+		os.Exit(1)
+	}
 
 	if err := bfs.Validate(g, src, res.Levels); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun: INVALID BFS:", err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +31,16 @@ func main() {
 		workers = flag.Int("workers", 4, "worker goroutines")
 		shuffle = flag.Bool("shuffle", false, "randomly relabel vertices first (the Figure 2 setup)")
 		d2      = flag.Bool("d2", false, "distance-2 coloring (sequential or openmp only)")
+		timeout = flag.Duration("timeout", 0, "abort the coloring after this long (0 = no deadline)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := graphio.Load(*file, *name, *scale)
 	if err != nil {
@@ -45,6 +54,7 @@ func main() {
 
 	start := time.Now()
 	var res coloring.Result
+	var runErr error
 	switch {
 	case *d2 && *runtime == "seq":
 		res = coloring.SeqGreedyD2(g)
@@ -57,20 +67,25 @@ func main() {
 	case *runtime == "openmp":
 		team := sched.NewTeam(*workers)
 		defer team.Close()
-		res = coloring.ColorTeam(g, team, sched.ForOptions{Policy: parsePolicy(*policy), Chunk: *chunk})
+		res, runErr = coloring.ColorTeamCtx(ctx, g, team, sched.ForOptions{Policy: parsePolicy(*policy), Chunk: *chunk})
 	case *runtime == "cilk":
 		pool := sched.NewPool(*workers)
 		defer pool.Close()
-		res = coloring.ColorCilk(g, pool, *chunk, coloring.CilkHolder)
+		res, runErr = coloring.ColorCilkCtx(ctx, g, pool, *chunk, coloring.CilkHolder)
 	case *runtime == "tbb":
 		pool := sched.NewPool(*workers)
 		defer pool.Close()
-		res = coloring.ColorTBB(g, pool, parsePartitioner(*part), *chunk)
+		res, runErr = coloring.ColorTBBCtx(ctx, g, pool, parsePartitioner(*part), *chunk)
 	default:
 		fmt.Fprintf(os.Stderr, "colorgraph: unknown runtime %q\n", *runtime)
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "colorgraph: aborted after %v (%d rounds done): %v\n",
+			elapsed.Round(time.Microsecond), res.Rounds, runErr)
+		os.Exit(1)
+	}
 
 	validate := coloring.Validate
 	if *d2 {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"micgraph/internal/core"
+	"micgraph/internal/fault"
 	"micgraph/internal/mic"
 )
 
@@ -26,6 +28,12 @@ func main() {
 		svgDir  = flag.String("svg", "", "also write one SVG figure per experiment into this directory")
 		machine = flag.String("machine", "", "JSON file overriding the KNF machine description (see mic.SaveMachine)")
 		quiet   = flag.Bool("q", false, "suppress progress messages")
+		timeout = flag.Duration("timeout", 0, "overall deadline for the sweep; experiments past it are annotated, not run (0 = none)")
+		retries = flag.Int("retries", 0, "bounded retries per sweep cell on transient injected faults")
+
+		stragRate = flag.Float64("straggler-rate", 0, "fault injection: probability each simulated MIC core straggles")
+		stragSlow = flag.Float64("straggler-slow", 0.5, "fault injection: slowdown fraction of a straggling core")
+		stragSeed = flag.Uint64("straggler-seed", 1, "fault injection: deterministic injector seed")
 	)
 	flag.Parse()
 
@@ -44,6 +52,16 @@ func main() {
 	}
 	logf("suite ready in %v", time.Since(start).Round(time.Millisecond))
 
+	if *timeout > 0 || *retries > 0 {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		suite.Harness = &core.Harness{Ctx: ctx, Retries: *retries}
+	}
+
 	knf := mic.KNF()
 	host := mic.HostXeon()
 	if *machine != "" {
@@ -61,22 +79,38 @@ func main() {
 		logf("using custom machine %q (%d cores x %d SMT)", knf.Name, knf.Cores, knf.SMTWays)
 	}
 
-	var exps []*core.Experiment
+	if *stragRate > 0 {
+		if *stragSlow < 0 {
+			fmt.Fprintln(os.Stderr, "micbench: -straggler-slow must be >= 0")
+			os.Exit(1)
+		}
+		in := fault.New(*stragSeed).
+			Enable("mic/straggler", *stragRate).
+			SetParam("mic/straggler", *stragSlow)
+		knf = knf.WithStragglers(in)
+		logf("fault injection: %d/%d MIC cores straggling at %.0f%% slowdown (seed %d)",
+			in.Fired("mic/straggler"), knf.Cores, *stragSlow*100, *stragSeed)
+	}
+
+	allIDs := []string{"table1", "fig1a", "fig1b", "fig1c", "fig2",
+		"fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c", "fig4d"}
+	ablationIDs := []string{"abl-blocksize", "abl-chunk", "abl-smt",
+		"abl-bonus", "abl-ordering", "abl-model"}
+
+	var ids []string
 	switch *expID {
 	case "all":
-		exps = core.All(suite, knf, host)
+		ids = allIDs
 	case "ablations":
-		exps = core.Ablations(suite, knf)
+		ids = ablationIDs
 	default:
 		for _, id := range strings.Split(*expID, ",") {
-			e, err := core.ByID(strings.TrimSpace(id), suite, knf, host)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "micbench:", err)
-				os.Exit(1)
-			}
-			exps = append(exps, e)
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
+	// RunMany contains per-experiment failures (panics, deadline) as error
+	// annotations so one poisoned experiment doesn't take down the sweep.
+	exps := core.RunMany(ids, suite, knf, host)
 
 	var csv *os.File
 	if *csvPath != "" {
@@ -120,5 +154,13 @@ func main() {
 			f.Close()
 		}
 	}
+	failed := 0
+	for _, e := range exps {
+		failed += len(e.Errors)
+	}
 	logf("done in %v", time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "micbench: %d cell(s)/experiment(s) failed; see the !! annotations above\n", failed)
+		os.Exit(1)
+	}
 }

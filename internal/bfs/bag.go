@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"sync/atomic"
 
 	"micgraph/internal/graph"
@@ -139,6 +140,20 @@ func (b *Bag) Walk(pool *sched.Pool, visit func(c *sched.Ctx, items []int32)) {
 	})
 }
 
+// WalkCtx is Walk with cooperative cancellation: once ctx (which may be
+// nil) is cancelled, unstarted subtree tasks are skipped and the first
+// contained panic or the context error is returned.
+func (b *Bag) WalkCtx(ctx context.Context, pool *sched.Pool, visit func(c *sched.Ctx, items []int32)) error {
+	return pool.RunCtx(ctx, func(c *sched.Ctx) {
+		for _, p := range b.pennants {
+			if p != nil {
+				p := p
+				c.Spawn(func(cc *sched.Ctx) { walkNode(cc, p, visit) })
+			}
+		}
+	})
+}
+
 // bagBuilder accumulates next-level vertices per worker: a hopper chunk that
 // is inserted into the worker's private bag when full (no synchronisation on
 // the hot path, like the reducer views in the Cilk original).
@@ -180,7 +195,19 @@ const DefaultBagGrain = 128
 // BagCilk runs layered BFS with pennant bags on the work-stealing pool (the
 // paper's CilkPlus-Bag-relaxed): relaxed insertion into per-worker bags,
 // merged at each level barrier, traversed by recursive task spawning.
+// Panics propagate; use BagCilkCtx for errors and cancellation.
 func BagCilk(g *graph.Graph, source int32, pool *sched.Pool, grain int) Result {
+	res, err := BagCilkCtx(nil, g, source, pool, grain)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BagCilkCtx is BagCilk with cooperative cancellation at task boundaries
+// and between levels; on failure it returns the partial traversal state
+// alongside the error.
+func BagCilkCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.Pool, grain int) (Result, error) {
 	if grain <= 0 {
 		grain = DefaultBagGrain
 	}
@@ -188,7 +215,7 @@ func BagCilk(g *graph.Graph, source int32, pool *sched.Pool, grain int) Result {
 	levels := makeLevels(n)
 	res := Result{Levels: levels}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 	levels[source] = 0
 
@@ -197,11 +224,21 @@ func BagCilk(g *graph.Graph, source int32, pool *sched.Pool, grain int) Result {
 
 	var processed int64
 	maxLevel := int32(0)
+	finish := func() {
+		res.NumLevels = int(maxLevel) + 1
+		res.Processed = processed
+		res.Widths = widthsOf(levels, res.NumLevels)
+		var reached int64
+		for _, w := range res.Widths {
+			reached += w
+		}
+		res.Duplicates = processed - reached
+	}
 	for lv := int32(1); !cur.Empty(); lv++ {
 		maxLevel = lv - 1
 		builders := make([]bagBuilder, pool.Workers())
 		var levelProcessed atomic.Int64
-		cur.Walk(pool, func(c *sched.Ctx, items []int32) {
+		err := cur.WalkCtx(ctx, pool, func(c *sched.Ctx, items []int32) {
 			bb := &builders[c.Worker()]
 			for _, v := range items {
 				for _, w := range g.Adj(v) {
@@ -213,19 +250,18 @@ func BagCilk(g *graph.Graph, source int32, pool *sched.Pool, grain int) Result {
 			levelProcessed.Add(int64(len(items)))
 		})
 		processed += levelProcessed.Load()
+		if err != nil {
+			// Partial level: vertices may already be claimed at level lv.
+			maxLevel = lv
+			finish()
+			return res, err
+		}
 		next := NewBag(grain)
 		for i := range builders {
 			next.Merge(builders[i].finish())
 		}
 		cur = next
 	}
-	res.NumLevels = int(maxLevel) + 1
-	res.Processed = processed
-	res.Widths = widthsOf(levels, res.NumLevels)
-	var reached int64
-	for _, w := range res.Widths {
-		reached += w
-	}
-	res.Duplicates = processed - reached
-	return res
+	finish()
+	return res, nil
 }

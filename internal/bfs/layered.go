@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"sync/atomic"
 
 	"micgraph/internal/graph"
@@ -122,13 +123,27 @@ func (qp *queuePair) finish(processed int64, maxLevel int32) Result {
 
 // BlockTeam runs layered BFS with the block-accessed queue on an
 // OpenMP-style Team (the paper's OpenMP-Block / OpenMP-Block-relaxed).
+// A body panic (e.g. an injected fault) propagates as a *sched.PanicError;
+// use BlockTeamCtx for errors and cancellation.
 func BlockTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, blockSize int, relaxed bool) Result {
+	res, err := BlockTeamCtx(nil, g, source, team, opts, blockSize, relaxed)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BlockTeamCtx is BlockTeam with cooperative cancellation: ctx (which may
+// be nil) is polled at chunk-claim boundaries within a level and between
+// levels. On cancellation or a contained panic it returns the partial
+// traversal state alongside the error.
+func BlockTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, blockSize int, relaxed bool) (Result, error) {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
 	qp := newQueuePair(g, team.Workers(), blockSize, relaxed)
 	if g.NumVertices() == 0 {
-		return qp.finish(0, 0)
+		return qp.finish(0, 0), nil
 	}
 	qp.seed(source)
 
@@ -148,7 +163,7 @@ func BlockTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOpt
 			writers[w] = qp.next.NewWriter()
 			processedBy[w] = 0
 		}
-		team.For(total, opts, func(lo, hi, w int) {
+		err := team.ForCtx(ctx, total, opts, func(lo, hi, w int) {
 			wr := writers[w]
 			var count int64
 			for i := lo; i < hi; i++ {
@@ -160,22 +175,39 @@ func BlockTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOpt
 			writers[w].Flush()
 			processed += processedBy[w]
 		}
+		if err != nil {
+			// Chunks that ran before the abort may have claimed vertices
+			// at level lv, so the partial result spans levels 0..lv.
+			return qp.finish(processed, lv), err
+		}
 		qp.cur, qp.next = qp.next, qp.cur
 		qp.next.Reset()
 	}
-	return qp.finish(processed, maxLevel)
+	return qp.finish(processed, maxLevel), nil
 }
 
 // BlockTBB runs layered BFS with the block-accessed queue on TBB-style
 // partitioned ranges (the paper's TBB-Block / TBB-Block-relaxed; the paper
-// reports the simple partitioner).
+// reports the simple partitioner). Panics propagate; use BlockTBBCtx for
+// errors and cancellation.
 func BlockTBB(g *graph.Graph, source int32, pool *sched.Pool, part sched.Partitioner, grain, blockSize int, relaxed bool) Result {
+	res, err := BlockTBBCtx(nil, g, source, pool, part, grain, blockSize, relaxed)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BlockTBBCtx is BlockTBB with cooperative cancellation at range-split
+// boundaries and between levels; on failure it returns the partial
+// traversal state alongside the error.
+func BlockTBBCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.Pool, part sched.Partitioner, grain, blockSize int, relaxed bool) (Result, error) {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
 	qp := newQueuePair(g, pool.Workers(), blockSize, relaxed)
 	if g.NumVertices() == 0 {
-		return qp.finish(0, 0)
+		return qp.finish(0, 0), nil
 	}
 	qp.seed(source)
 
@@ -196,7 +228,7 @@ func BlockTBB(g *graph.Graph, source int32, pool *sched.Pool, part sched.Partiti
 			writers[w] = qp.next.NewWriter()
 		}
 		before := counts.Combine(0, addInt64)
-		sched.ParallelForRange(pool, sched.Range{Lo: 0, Hi: total, Grain: grain}, part, &aff,
+		err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: total, Grain: grain}, part, &aff,
 			func(lo, hi int, c *sched.Ctx) {
 				wr := writers[c.Worker()]
 				local := counts.Local(c)
@@ -208,10 +240,14 @@ func BlockTBB(g *graph.Graph, source int32, pool *sched.Pool, part sched.Partiti
 			writers[w].Flush()
 		}
 		processed = counts.Combine(0, addInt64) - before + processed
+		if err != nil {
+			// Partial level: vertices may already be claimed at level lv.
+			return qp.finish(processed, lv), err
+		}
 		qp.cur, qp.next = qp.next, qp.cur
 		qp.next.Reset()
 	}
-	return qp.finish(processed, maxLevel)
+	return qp.finish(processed, maxLevel), nil
 }
 
 func addInt64(a, b int64) int64 { return a + b }

@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"sync/atomic"
 
 	"micgraph/internal/graph"
@@ -15,11 +16,22 @@ import (
 // improvement is included: the level is checked before attempting the lock,
 // skipping the expensive operation for already-visited vertices.
 func TLSTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions) Result {
+	res, err := TLSTeamCtx(nil, g, source, team, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TLSTeamCtx is TLSTeam with cooperative cancellation at chunk-claim
+// boundaries and between levels; on failure it returns the partial
+// traversal state alongside the error.
+func TLSTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions) (Result, error) {
 	n := g.NumVertices()
 	levels := makeLevels(n)
 	res := Result{Levels: levels}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 	levels[source] = 0
 
@@ -37,7 +49,7 @@ func TLSTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptio
 			locals[w] = locals[w][:0]
 		}
 		curSnapshot := cur
-		team.For(len(curSnapshot), opts, func(lo, hi, w int) {
+		err := team.ForCtx(ctx, len(curSnapshot), opts, func(lo, hi, w int) {
 			local := locals[w]
 			for i := lo; i < hi; i++ {
 				v := curSnapshot[i]
@@ -55,6 +67,13 @@ func TLSTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptio
 			}
 			locals[w] = local
 		})
+		if err != nil {
+			// Partial level: vertices may already be claimed at level lv.
+			res.NumLevels = int(lv) + 1
+			res.Processed = processed
+			res.Widths = widthsOf(levels, res.NumLevels)
+			return res, err
+		}
 		// Merge local queues into the global queue (level barrier).
 		next = next[:0]
 		for _, local := range locals {
@@ -65,5 +84,5 @@ func TLSTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptio
 	res.NumLevels = int(maxLevel) + 1
 	res.Processed = processed
 	res.Widths = widthsOf(levels, res.NumLevels)
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"sync/atomic"
 
 	"micgraph/internal/graph"
@@ -69,8 +70,20 @@ func appendConflict(next []int32, count *atomic.Int64, v int32) {
 }
 
 // ColorTeam runs the iterative parallel coloring on an OpenMP-style Team
-// with the given loop options.
+// with the given loop options. A body panic propagates as a
+// *sched.PanicError; use ColorTeamCtx for errors and cancellation.
 func ColorTeam(g *graph.Graph, team *sched.Team, opts sched.ForOptions) Result {
+	res, err := ColorTeamCtx(nil, g, team, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ColorTeamCtx is ColorTeam with cooperative cancellation: ctx (which may
+// be nil) is polled at chunk-claim boundaries and between rounds. On
+// failure it returns the partial coloring alongside the error.
+func ColorTeamCtx(ctx context.Context, g *graph.Graph, team *sched.Team, opts sched.ForOptions) (Result, error) {
 	n := g.NumVertices()
 	colors := make([]int32, n)
 	fcs := make([]localFC, team.Workers())
@@ -86,7 +99,7 @@ func ColorTeam(g *graph.Graph, team *sched.Team, opts sched.ForOptions) Result {
 		// Tentative coloring (Algorithm 3) with per-worker local maxima,
 		// reduced by the main goroutine afterwards.
 		locals := make([]int32, team.Workers())
-		team.For(len(visit), opts, func(lo, hi, w int) {
+		err := team.ForCtx(ctx, len(visit), opts, func(lo, hi, w int) {
 			fc := fcs[w]
 			localMax := locals[w]
 			for i := lo; i < hi; i++ {
@@ -101,22 +114,30 @@ func ColorTeam(g *graph.Graph, team *sched.Team, opts sched.ForOptions) Result {
 				maxColor = lm
 			}
 		}
+		if err != nil {
+			res.NumColors = int(maxColor)
+			return res, err
+		}
 
 		// Conflict detection (Algorithm 4).
 		next := make([]int32, len(visit))
 		var count atomic.Int64
-		team.For(len(visit), opts, func(lo, hi, w int) {
+		err = team.ForCtx(ctx, len(visit), opts, func(lo, hi, w int) {
 			for i := lo; i < hi; i++ {
 				if v := visit[i]; conflictOne(g, colors, v) {
 					appendConflict(next, &count, v)
 				}
 			}
 		})
+		if err != nil {
+			res.NumColors = int(maxColor)
+			return res, err
+		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))
 	}
 	res.NumColors = int(maxColor)
-	return res
+	return res, nil
 }
 
 // CilkVariant selects how the Cilk implementation obtains its localFC
@@ -140,8 +161,20 @@ func (v CilkVariant) String() string {
 }
 
 // ColorCilk runs the iterative parallel coloring as nested cilk_for loops on
-// a work-stealing Pool. grain <= 0 uses the Cilk default.
+// a work-stealing Pool. grain <= 0 uses the Cilk default. Panics propagate;
+// use ColorCilkCtx for errors and cancellation.
 func ColorCilk(g *graph.Graph, pool *sched.Pool, grain int, variant CilkVariant) Result {
+	res, err := ColorCilkCtx(nil, g, pool, grain, variant)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ColorCilkCtx is ColorCilk with cooperative cancellation at task-split
+// boundaries and between rounds; on failure it returns the partial
+// coloring alongside the error.
+func ColorCilkCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, grain int, variant CilkVariant) (Result, error) {
 	n := g.NumVertices()
 	colors := make([]int32, n)
 	workers := pool.Workers()
@@ -165,7 +198,7 @@ func ColorCilk(g *graph.Graph, pool *sched.Pool, grain int, variant CilkVariant)
 	for len(visit) > 0 {
 		res.Rounds++
 		vs := visit
-		pool.ParallelFor(len(vs), grain, func(lo, hi int, c *sched.Ctx) {
+		err := pool.ParallelForCtx(ctx, len(vs), grain, func(lo, hi int, c *sched.Ctx) {
 			fc := fcView(c)
 			localMax := int32(0)
 			for i := lo; i < hi; i++ {
@@ -175,26 +208,46 @@ func ColorCilk(g *graph.Graph, pool *sched.Pool, grain int, variant CilkVariant)
 			}
 			reducer.Update(c, int(localMax))
 		})
+		if err != nil {
+			res.NumColors = reducer.Get()
+			return res, err
+		}
 
 		next := make([]int32, len(vs))
 		var count atomic.Int64
-		pool.ParallelFor(len(vs), grain, func(lo, hi int, c *sched.Ctx) {
+		err = pool.ParallelForCtx(ctx, len(vs), grain, func(lo, hi int, c *sched.Ctx) {
 			for i := lo; i < hi; i++ {
 				if v := vs[i]; conflictOne(g, colors, v) {
 					appendConflict(next, &count, v)
 				}
 			}
 		})
+		if err != nil {
+			res.NumColors = reducer.Get()
+			return res, err
+		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))
 	}
 	res.NumColors = reducer.Get()
-	return res
+	return res, nil
 }
 
 // ColorTBB runs the iterative parallel coloring as TBB parallel_for calls
 // over blocked ranges with the given partitioner and grain (minimum chunk).
+// Panics propagate; use ColorTBBCtx for errors and cancellation.
 func ColorTBB(g *graph.Graph, pool *sched.Pool, part sched.Partitioner, grain int) Result {
+	res, err := ColorTBBCtx(nil, g, pool, part, grain)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ColorTBBCtx is ColorTBB with cooperative cancellation at range-split
+// boundaries and between rounds; on failure it returns the partial
+// coloring alongside the error.
+func ColorTBBCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, part sched.Partitioner, grain int) (Result, error) {
 	n := g.NumVertices()
 	colors := make([]int32, n)
 	workers := pool.Workers()
@@ -205,10 +258,18 @@ func ColorTBB(g *graph.Graph, pool *sched.Pool, part sched.Partitioner, grain in
 	res := Result{Colors: colors}
 	var aff sched.AffinityState
 
+	finish := func() int {
+		return int(maxC.Combine(0, func(a, b int32) int32 {
+			if a > b {
+				return a
+			}
+			return b
+		}))
+	}
 	for len(visit) > 0 {
 		res.Rounds++
 		vs := visit
-		sched.ParallelForRange(pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
+		err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
 			func(lo, hi int, c *sched.Ctx) {
 				fc := *ets.Local(c)
 				local := maxC.Local(c)
@@ -218,10 +279,14 @@ func ColorTBB(g *graph.Graph, pool *sched.Pool, part sched.Partitioner, grain in
 					}
 				}
 			})
+		if err != nil {
+			res.NumColors = finish()
+			return res, err
+		}
 
 		next := make([]int32, len(vs))
 		var count atomic.Int64
-		sched.ParallelForRange(pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
+		err = sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
 			func(lo, hi int, c *sched.Ctx) {
 				for i := lo; i < hi; i++ {
 					if v := vs[i]; conflictOne(g, colors, v) {
@@ -229,14 +294,13 @@ func ColorTBB(g *graph.Graph, pool *sched.Pool, part sched.Partitioner, grain in
 					}
 				}
 			})
+		if err != nil {
+			res.NumColors = finish()
+			return res, err
+		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))
 	}
-	res.NumColors = int(maxC.Combine(0, func(a, b int32) int32 {
-		if a > b {
-			return a
-		}
-		return b
-	}))
-	return res
+	res.NumColors = finish()
+	return res, nil
 }

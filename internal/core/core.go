@@ -69,6 +69,10 @@ type Experiment struct {
 	Series []Series
 	Rows   []TableRow // table experiments only
 	Notes  string
+
+	// Errors annotates cells (or the whole experiment) that failed under
+	// the harness's containment; see Harness. Empty on a clean run.
+	Errors []CellError
 }
 
 // TableRow is one line of Table I.
@@ -104,6 +108,11 @@ type Suite struct {
 	Configs  []gen.MeshConfig
 	Graphs   []*graph.Graph
 	shuffled []*graph.Graph
+
+	// Harness controls cancellation and failure containment for all
+	// experiments run against this suite. Nil (the default) means no
+	// deadline and no retries; cells still fail the old way (panic).
+	Harness *Harness
 }
 
 // NewSuite generates the seven Table I stand-ins at the given linear scale
@@ -151,17 +160,51 @@ func (s *Suite) Find(name string) (*graph.Graph, gen.MeshConfig, error) {
 // ("computed using as baseline the configuration that performs the fastest
 // on 1 thread for that graph"). traceFor builds the trace for a given
 // (graph index, config index, thread count).
-func speedupCurves(m *mic.Machine, configs []mic.Config, labels []string,
+//
+// Each (graph, config, threads) cell runs under the harness: a failed cell
+// is excluded from that point's geometric mean and reported in the
+// returned annotations; the rest of the sweep continues. Once the harness
+// context is cancelled, remaining cells are skipped (one annotation marks
+// the cutoff) and whatever was computed is returned.
+func speedupCurves(h *Harness, m *mic.Machine, configs []mic.Config, labels []string,
 	numGraphs int, threads []int,
-	traceFor func(gi, ci, t int) *mic.Trace) []Series {
+	traceFor func(gi, ci, t int) *mic.Trace) ([]Series, []CellError) {
 
-	// Baselines per graph: min over configs of 1-thread time.
+	var errs []CellError
+	label := func(ci int) string {
+		if labels[ci] != "" {
+			return labels[ci]
+		}
+		return configs[ci].String()
+	}
+	aborted := func() bool {
+		if err := h.cancelled(); err != nil {
+			errs = append(errs, CellError{Graph: -1, Err: err})
+			return true
+		}
+		return false
+	}
+
+	// Baselines per graph: min over configs of 1-thread time. A graph
+	// whose every baseline cell fails stays NaN and is excluded from all
+	// curves; a partial failure just narrows the min.
 	base := make([]float64, numGraphs)
 	for gi := 0; gi < numGraphs; gi++ {
-		best := math.Inf(1)
+		if aborted() {
+			return nil, errs
+		}
+		best := math.NaN()
 		for ci := range configs {
-			tt := mic.Simulate(m, configs[ci], 1, traceFor(gi, ci, 1))
-			if tt < best {
+			gi, ci := gi, ci
+			tt, attempts, err := h.cell(func() float64 {
+				return mic.Simulate(m, configs[ci], 1, traceFor(gi, ci, 1))
+			})
+			if err != nil {
+				errs = append(errs, CellError{Series: label(ci), Graph: gi,
+					Threads: 1, Attempts: attempts, Err: err})
+				continue
+			}
+			if math.IsNaN(best) || tt < best {
 				best = tt
 			}
 		}
@@ -172,18 +215,36 @@ func speedupCurves(m *mic.Machine, configs []mic.Config, labels []string,
 	for ci := range configs {
 		vals := make([]float64, len(threads))
 		for ti, t := range threads {
-			per := make([]float64, numGraphs)
+			if aborted() {
+				// Partial curves: computed points stand, the rest are 0.
+				for cj := ci; cj < len(configs); cj++ {
+					if series[cj].Threads == nil {
+						series[cj] = Series{Label: label(cj), Threads: threads,
+							Values: make([]float64, len(threads))}
+					}
+				}
+				series[ci].Values = vals
+				return series, errs
+			}
+			per := make([]float64, 0, numGraphs)
 			for gi := 0; gi < numGraphs; gi++ {
-				tt := mic.Simulate(m, configs[ci], t, traceFor(gi, ci, t))
-				per[gi] = base[gi] / tt
+				if math.IsNaN(base[gi]) {
+					continue // no baseline; already annotated above
+				}
+				gi, ci, t := gi, ci, t
+				tt, attempts, err := h.cell(func() float64 {
+					return mic.Simulate(m, configs[ci], t, traceFor(gi, ci, t))
+				})
+				if err != nil {
+					errs = append(errs, CellError{Series: label(ci), Graph: gi,
+						Threads: t, Attempts: attempts, Err: err})
+					continue
+				}
+				per = append(per, base[gi]/tt)
 			}
 			vals[ti] = GeoMean(per)
 		}
-		label := labels[ci]
-		if label == "" {
-			label = configs[ci].String()
-		}
-		series[ci] = Series{Label: label, Threads: threads, Values: vals}
+		series[ci] = Series{Label: label(ci), Threads: threads, Values: vals}
 	}
-	return series
+	return series, errs
 }

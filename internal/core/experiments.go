@@ -81,10 +81,12 @@ func coloringExperiment(s *Suite, m *mic.Machine, id, title string,
 		cache[key] = tr
 		return tr
 	}
+	series, errs := speedupCurves(s.Harness, m, configs, labels, len(graphs), threads, traceFor)
 	return &Experiment{
 		ID:     id,
 		Title:  title,
-		Series: speedupCurves(m, configs, labels, len(graphs), threads, traceFor),
+		Series: series,
+		Errors: stamp(id, errs),
 	}
 }
 
@@ -154,11 +156,12 @@ func irregularExperiment(s *Suite, m *mic.Machine, id, title string, cfg mic.Con
 		for gi, g := range s.Graphs {
 			traces[gi] = mic.IrregularTrace(m, g, mic.NaturalOrder, iter)
 		}
-		series := speedupCurves(m, []mic.Config{cfg},
+		series, errs := speedupCurves(s.Harness, m, []mic.Config{cfg},
 			[]string{fmt.Sprintf("%d iteration(s)", iter)},
 			len(s.Graphs), threads,
 			func(gi, _, _ int) *mic.Trace { return traces[gi] })
 		exp.Series = append(exp.Series, series...)
+		exp.Errors = append(exp.Errors, stamp(id, errs)...)
 	}
 	return exp
 }
@@ -225,8 +228,10 @@ func bfsExperiment(s *Suite, m *mic.Machine, id, title string,
 		configs[i] = cfg
 		labels[i] = spec.label
 	}
-	exp.Series = speedupCurves(m, configs, labels, len(graphIdx), threads,
+	series, errs := speedupCurves(s.Harness, m, configs, labels, len(graphIdx), threads,
 		func(gi, ci, _ int) *mic.Trace { return traces[[2]int{graphIdx[gi], ci}] })
+	exp.Series = series
+	exp.Errors = append(exp.Errors, stamp(id, errs)...)
 
 	// Analytical model (§III-C), geometric mean across the same graphs.
 	model := make([]float64, len(threads))

@@ -45,6 +45,11 @@ func WriteText(w io.Writer, e *Experiment) error {
 			return err
 		}
 	}
+	for _, ce := range e.Errors {
+		if _, err := fmt.Fprintf(w, "!! %s\n", ce.Error()); err != nil {
+			return err
+		}
+	}
 	_, err := fmt.Fprintln(w)
 	return err
 }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"micgraph/internal/fault"
+	"micgraph/internal/mic"
+)
+
+// Harness controls the resilience of experiment sweeps: an optional
+// deadline/cancellation context and a bounded retry budget for transient
+// injected faults. A nil *Harness (the default on a Suite) behaves like an
+// unbounded, no-retry harness, so existing callers are unaffected.
+//
+// Failure containment is per cell — one (graph, config, threads) point of a
+// sweep. A cell that panics (e.g. an injected worker fault surfacing as a
+// *sched.PanicError) is recorded as a CellError annotation on the
+// Experiment and excluded from the geometric mean; every other cell still
+// runs. Transient faults (fault.IsTransient) are retried up to Retries
+// times before being recorded.
+type Harness struct {
+	Ctx     context.Context
+	Retries int
+}
+
+// context returns the harness context (Background when unset).
+func (h *Harness) context() context.Context {
+	if h == nil || h.Ctx == nil {
+		return context.Background()
+	}
+	return h.Ctx
+}
+
+// cancelled returns the context error once the deadline has passed or the
+// run was cancelled, nil otherwise. Nil-safe.
+func (h *Harness) cancelled() error {
+	if h == nil || h.Ctx == nil {
+		return nil
+	}
+	return h.Ctx.Err()
+}
+
+func (h *Harness) retries() int {
+	if h == nil || h.Retries < 0 {
+		return 0
+	}
+	return h.Retries
+}
+
+// cell evaluates one sweep cell with panic containment and bounded retry.
+// It returns the value, the number of attempts made, and the final error
+// (nil on success). Only transient faults are retried; a deterministic
+// failure is reported after the first attempt.
+func (h *Harness) cell(fn func() float64) (float64, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		v, err := protect(fn)
+		if err == nil {
+			return v, attempts, nil
+		}
+		if attempts > h.retries() || !fault.IsTransient(err) {
+			return math.NaN(), attempts, err
+		}
+	}
+}
+
+// protect runs fn, converting a panic into an error.
+func protect(fn func() float64) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("core: cell panicked: %v", r)
+			}
+		}
+	}()
+	return fn(), nil
+}
+
+// CellError annotates one failed cell of a sweep (or a whole failed
+// experiment, when Graph is -1). The sweep it came from still carries every
+// cell that succeeded.
+type CellError struct {
+	Experiment string // experiment ID, filled by the experiment constructor
+	Series     string // config/series label, "" for baseline or whole-run errors
+	Graph      int    // suite graph index; -1 when not cell-specific
+	Threads    int    // thread count of the failed cell; 0 when not cell-specific
+	Attempts   int    // how many times the cell was tried
+	Err        error
+}
+
+// Error formats the annotation.
+func (e CellError) Error() string {
+	where := e.Experiment
+	if e.Series != "" {
+		where += "/" + e.Series
+	}
+	if e.Graph >= 0 {
+		where += fmt.Sprintf(" graph=%d t=%d", e.Graph, e.Threads)
+	}
+	if e.Attempts > 1 {
+		return fmt.Sprintf("%s: %v (after %d attempts)", where, e.Err, e.Attempts)
+	}
+	return fmt.Sprintf("%s: %v", where, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e CellError) Unwrap() error { return e.Err }
+
+// stamp sets the experiment ID on a batch of cell errors.
+func stamp(id string, errs []CellError) []CellError {
+	for i := range errs {
+		errs[i].Experiment = id
+	}
+	return errs
+}
+
+// AllIDs lists every experiment ID ByID accepts, in report order.
+func AllIDs() []string {
+	return []string{
+		"table1",
+		"fig1a", "fig1b", "fig1c", "fig2",
+		"fig3a", "fig3b", "fig3c",
+		"fig4a", "fig4b", "fig4c", "fig4d",
+		"abl-blocksize", "abl-chunk", "abl-smt",
+		"abl-bonus", "abl-ordering", "abl-model",
+		"extra-rmat", "extra-knc",
+	}
+}
+
+// RunByID is ByID with experiment-level containment: an experiment that
+// fails outright (panic during trace construction, cancelled context)
+// still returns an *Experiment, carrying the failure as an error
+// annotation instead of series data. The error return is reserved for
+// unknown IDs.
+func RunByID(id string, s *Suite, knf, host *mic.Machine) (*Experiment, error) {
+	if err := s.Harness.cancelled(); err != nil {
+		return &Experiment{ID: id, Title: id,
+			Errors: []CellError{{Experiment: id, Graph: -1, Err: err}}}, nil
+	}
+	exp, runErr := protectExp(func() (*Experiment, error) { return ByID(id, s, knf, host) })
+	if runErr != nil {
+		if exp == nil {
+			return nil, runErr // unknown experiment ID
+		}
+		exp.Errors = append(exp.Errors, CellError{Experiment: id, Graph: -1, Err: runErr})
+	}
+	return exp, nil
+}
+
+// protectExp runs an experiment constructor, containing panics. A panic
+// returns an empty placeholder experiment plus the panic as an error; a
+// plain error (unknown ID) returns (nil, err) untouched.
+func protectExp(fn func() (*Experiment, error)) (exp *Experiment, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			exp = &Experiment{}
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("core: experiment panicked: %v", r)
+			}
+		}
+	}()
+	return fn()
+}
+
+// RunMany runs the given experiments (all of them when ids is empty) with
+// per-experiment containment: one poisoned or timed-out experiment is
+// returned as an annotated placeholder while the rest run to completion.
+// Unknown IDs are reported the same way, so the result always has one
+// entry per requested ID.
+func RunMany(ids []string, s *Suite, knf, host *mic.Machine) []*Experiment {
+	if len(ids) == 0 {
+		ids = AllIDs()
+	}
+	out := make([]*Experiment, 0, len(ids))
+	for _, id := range ids {
+		exp, err := RunByID(id, s, knf, host)
+		if err != nil {
+			exp = &Experiment{ID: id, Title: id,
+				Errors: []CellError{{Experiment: id, Graph: -1, Err: err}}}
+		}
+		if exp.ID == "" {
+			exp.ID, exp.Title = id, id
+		}
+		out = append(out, exp)
+	}
+	return out
+}

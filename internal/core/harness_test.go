@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"micgraph/internal/fault"
+	"micgraph/internal/mic"
+	"micgraph/internal/sched"
+)
+
+// testTrace returns a small uniform trace.
+func testTrace(items int) *mic.Trace {
+	work := make([]mic.Work, items)
+	for i := range work {
+		work[i] = mic.Work{Issue: 10, Stall: 5}
+	}
+	return &mic.Trace{Name: "test", Phases: []mic.Phase{{Name: "loop", Items: work}}}
+}
+
+var testConfigs = []mic.Config{
+	{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: 8},
+	{Kind: mic.TBB, Partitioner: sched.SimplePartitioner, Chunk: 8},
+}
+
+// TestSpeedupCurvesPoisonedCell poisons exactly one (graph, config, thread)
+// cell of a sweep and checks every other cell still emits a value, while the
+// poisoned one is excluded from its point's geometric mean and reported as
+// an annotation — the acceptance scenario for graceful degradation.
+func TestSpeedupCurvesPoisonedCell(t *testing.T) {
+	threads := []int{1, 11, 21}
+	boom := errors.New("poisoned trace")
+	traceFor := func(gi, ci, tt int) *mic.Trace {
+		if gi == 1 && ci == 0 && tt == 11 {
+			panic(boom)
+		}
+		return testTrace(500 * (gi + 1))
+	}
+	series, errs := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
+		3, threads, traceFor)
+
+	if len(series) != len(testConfigs) {
+		t.Fatalf("%d series, want %d", len(series), len(testConfigs))
+	}
+	for _, s := range series {
+		for i, v := range s.Values {
+			if v <= 0 {
+				t.Errorf("%s at t=%d: value %v, want > 0 (sweep must continue around the poisoned cell)",
+					s.Label, s.Threads[i], v)
+			}
+		}
+	}
+	if len(errs) != 1 {
+		t.Fatalf("%d annotations, want 1: %v", len(errs), errs)
+	}
+	e := errs[0]
+	if e.Graph != 1 || e.Threads != 11 || e.Series != testConfigs[0].String() {
+		t.Errorf("annotation %+v does not pin the poisoned cell", e)
+	}
+	if !errors.Is(e, boom) {
+		t.Errorf("annotation lost the cause: %v", e.Err)
+	}
+
+	// Determinism: a second identical sweep yields identical curves.
+	series2, _ := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
+		3, threads, traceFor)
+	for ci := range series {
+		for i := range series[ci].Values {
+			if series[ci].Values[i] != series2[ci].Values[i] {
+				t.Fatalf("sweep not deterministic at %s t=%d", series[ci].Label, threads[i])
+			}
+		}
+	}
+}
+
+// TestSpeedupCurvesPoisonedBaseline fails every baseline cell of one graph:
+// the graph must drop out of all curves (which stay positive from the other
+// graphs) with one annotation per config.
+func TestSpeedupCurvesPoisonedBaseline(t *testing.T) {
+	threads := []int{1, 11}
+	traceFor := func(gi, ci, tt int) *mic.Trace {
+		if gi == 2 && tt == 1 {
+			panic(fmt.Errorf("graph %d baseline dead", gi))
+		}
+		return testTrace(400)
+	}
+	series, errs := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
+		3, threads, traceFor)
+	for _, s := range series {
+		for i, v := range s.Values {
+			if v <= 0 {
+				t.Errorf("%s at t=%d: value %v, want > 0", s.Label, s.Threads[i], v)
+			}
+		}
+	}
+	if len(errs) != len(testConfigs) {
+		t.Fatalf("%d annotations, want one per config (%d): %v", len(errs), len(testConfigs), errs)
+	}
+	for _, e := range errs {
+		if e.Graph != 2 || e.Threads != 1 {
+			t.Errorf("annotation %+v does not pin graph 2's baseline", e)
+		}
+	}
+}
+
+// TestHarnessRetriesTransientFault arms a one-shot injected fault and checks
+// Retries >= 1 absorbs it: the cell succeeds on the second attempt and the
+// sweep carries no annotation.
+func TestHarnessRetriesTransientFault(t *testing.T) {
+	h := &Harness{Retries: 2}
+	in := fault.New(1).EnableAt("cell", 1)
+	v, attempts, err := h.cell(func() float64 {
+		if err := in.FireErr("cell"); err != nil {
+			panic(err)
+		}
+		return 7
+	})
+	if err != nil {
+		t.Fatalf("cell failed despite retry budget: %v", err)
+	}
+	if v != 7 || attempts != 2 {
+		t.Errorf("got v=%v attempts=%d, want v=7 attempts=2", v, attempts)
+	}
+
+	// A deterministic (non-transient) failure is not retried.
+	calls := 0
+	_, attempts, err = h.cell(func() float64 {
+		calls++
+		panic(errors.New("deterministic bug"))
+	})
+	if err == nil || attempts != 1 || calls != 1 {
+		t.Errorf("non-transient failure: err=%v attempts=%d calls=%d, want 1 attempt", err, attempts, calls)
+	}
+
+	// With no budget the transient fault surfaces with its marker intact.
+	in2 := fault.New(1).EnableAt("cell", 1)
+	_, _, err = (*Harness)(nil).cell(func() float64 {
+		if err := in2.FireErr("cell"); err != nil {
+			panic(err)
+		}
+		return 7
+	})
+	if !fault.IsTransient(err) {
+		t.Errorf("unretried fault %v lost its transient marker", err)
+	}
+}
+
+// TestSpeedupCurvesCancelledMidSweep cancels the harness context from inside
+// a known cell and checks the sweep stops early but still returns the
+// already-computed points plus a cutoff annotation.
+func TestSpeedupCurvesCancelledMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := &Harness{Ctx: ctx}
+	threads := []int{1, 11, 21}
+	traceFor := func(gi, ci, tt int) *mic.Trace {
+		if ci == 1 && tt == 11 {
+			cancel()
+		}
+		return testTrace(300)
+	}
+	series, errs := speedupCurves(h, mic.KNF(), testConfigs, []string{"", ""},
+		2, threads, traceFor)
+	if len(series) != len(testConfigs) {
+		t.Fatalf("%d series, want %d even on abort", len(series), len(testConfigs))
+	}
+	for i, v := range series[0].Values {
+		if v <= 0 {
+			t.Errorf("config 0 t=%d: value %v computed before the abort must stand", threads[i], v)
+		}
+	}
+	found := false
+	for _, e := range errs {
+		if e.Graph == -1 && errors.Is(e, context.Canceled) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cutoff annotation in %v", errs)
+	}
+}
+
+// TestRunByIDCancelled checks a cancelled harness context short-circuits
+// into an annotated placeholder rather than an error or a panic.
+func TestRunByIDCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &Suite{Harness: &Harness{Ctx: ctx}}
+	exp, err := RunByID("fig1a", s, nil, nil)
+	if err != nil {
+		t.Fatalf("RunByID: %v", err)
+	}
+	if exp.ID != "fig1a" || len(exp.Errors) != 1 || !errors.Is(exp.Errors[0], context.Canceled) {
+		t.Errorf("placeholder %+v does not carry the cancellation", exp)
+	}
+}
+
+// TestRunManyUnknownID checks unknown experiment IDs come back as annotated
+// placeholders so a batch always has one entry per request.
+func TestRunManyUnknownID(t *testing.T) {
+	s := &Suite{}
+	exps := RunMany([]string{"no-such-experiment"}, s, nil, nil)
+	if len(exps) != 1 {
+		t.Fatalf("%d experiments, want 1", len(exps))
+	}
+	if exps[0].ID != "no-such-experiment" || len(exps[0].Errors) == 0 {
+		t.Errorf("unknown ID not reported as annotated placeholder: %+v", exps[0])
+	}
+}

@@ -71,8 +71,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := binary.Read(br, binary.LittleEndian, &arcs); err != nil {
 		return nil, fmt.Errorf("binio: reading arc count: %w", err)
 	}
-	const sane = 1 << 40 // refuse absurd sizes rather than OOM on corrupt input
-	if n > sane || arcs > sane {
+	// Vertex ids are int32, so n must fit; refuse absurd sizes rather than
+	// OOM on corrupt input.
+	const maxN = 1<<31 - 1
+	const sane = 1 << 40
+	if n > maxN || arcs > sane {
 		return nil, fmt.Errorf("binio: implausible sizes n=%d arcs=%d", n, arcs)
 	}
 	g := &Graph{}
@@ -81,10 +84,31 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if err := binary.Read(br, binary.LittleEndian, g.xadj); err != nil {
 			return nil, fmt.Errorf("binio: reading xadj: %w", err)
 		}
+		// Check the offset array before trusting arcs enough to allocate
+		// the adjacency array: xadj must start at 0, never decrease, and
+		// end exactly at the declared arc count.
+		if g.xadj[0] != 0 {
+			return nil, fmt.Errorf("binio: xadj[0] = %d, want 0", g.xadj[0])
+		}
+		for i := uint64(1); i <= n; i++ {
+			if g.xadj[i] < g.xadj[i-1] {
+				return nil, fmt.Errorf("binio: xadj decreases at %d (%d -> %d)", i, g.xadj[i-1], g.xadj[i])
+			}
+		}
+		if g.xadj[n] != int64(arcs) {
+			return nil, fmt.Errorf("binio: xadj[n] = %d, want arc count %d", g.xadj[n], arcs)
+		}
 		g.adj = make([]int32, arcs)
 		if err := binary.Read(br, binary.LittleEndian, g.adj); err != nil {
 			return nil, fmt.Errorf("binio: reading adj: %w", err)
 		}
+		for i, w := range g.adj {
+			if w < 0 || uint64(w) >= n {
+				return nil, fmt.Errorf("binio: adj[%d] = %d outside [0, %d)", i, w, n)
+			}
+		}
+	} else if arcs > 0 {
+		return nil, fmt.Errorf("binio: %d arcs with no vertices", arcs)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("binio: corrupt graph: %w", err)

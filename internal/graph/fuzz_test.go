@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedGraphs are small but structurally varied graphs whose serialized
+// forms seed both fuzz corpora.
+func fuzzSeedGraphs(f *testing.F) []*Graph {
+	f.Helper()
+	return []*Graph{
+		MustFromEdges(0, nil),
+		MustFromEdges(1, nil),
+		MustFromEdges(3, []Edge{{0, 1}, {1, 2}}),
+		MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		MustFromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}}),
+	}
+}
+
+// FuzzReadBinary checks that arbitrary bytes never crash the binary loader
+// and that anything it accepts is a valid graph that round-trips.
+func FuzzReadBinary(f *testing.F) {
+	for _, g := range fuzzSeedGraphs(f) {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Truncated and corrupt variants.
+	f.Add([]byte("MICGRAPH"))
+	f.Add([]byte("MICGRAPH\x01\x00\x00\x00"))
+	f.Add([]byte("NOTMAGIC\x01\x00\x00\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; crashing or accepting garbage is not
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadBinary accepted an invalid graph: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("re-serializing accepted graph: %v", err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-reading round trip: %v", err)
+		}
+		if !g.Equal(g2) {
+			t.Fatal("binary round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadMatrixMarket checks the text loader the same way: no input may
+// crash it, and every accepted graph must satisfy the CSR invariants.
+func FuzzReadMatrixMarket(f *testing.F) {
+	for _, g := range fuzzSeedGraphs(f) {
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n% comment\n2 2 1\n1 2 0.5\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern symmetric\n2 3 1\n1 2\n")) // non-square
+	f.Add([]byte("%%MatrixMarket\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadMatrixMarket(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadMatrixMarket accepted an invalid graph: %v", verr)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"micgraph/internal/fault"
 	"micgraph/internal/gen"
 	"micgraph/internal/graph"
 )
@@ -54,6 +55,15 @@ func ParseFormat(name string) (Format, error) {
 
 // Read parses r in the given format.
 func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	return ReadInjected(r, f, nil)
+}
+
+// ReadInjected is Read with a fault injector interposed on the byte
+// stream: the sites "graphio/read/err" (transient read error) and
+// "graphio/read/truncate" (premature EOF) exercise the loaders' failure
+// paths deterministically. A nil injector reads normally.
+func ReadInjected(r io.Reader, f Format, in *fault.Injector) (*graph.Graph, error) {
+	r = in.Reader("graphio/read", r)
 	switch f {
 	case Binary:
 		return graph.ReadBinary(r)
@@ -78,12 +88,17 @@ func Write(w io.Writer, g *graph.Graph, f Format) error {
 
 // ReadFile opens and parses a graph file, dispatching on its extension.
 func ReadFile(path string) (*graph.Graph, error) {
+	return ReadFileInjected(path, nil)
+}
+
+// ReadFileInjected is ReadFile with a fault injector (see ReadInjected).
+func ReadFileInjected(path string, in *fault.Injector) (*graph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f, DetectFormat(path))
+	return ReadInjected(f, DetectFormat(path), in)
 }
 
 // WriteFile serialises g to path in the given format.
@@ -102,9 +117,16 @@ func WriteFile(path string, g *graph.Graph, f Format) error {
 // Load resolves the CLI tools' shared -file/-graph convention: a file path
 // (any supported format) or a builtin suite graph name with a shrink scale.
 func Load(file, suiteName string, scale int) (*graph.Graph, error) {
+	return LoadInjected(file, suiteName, scale, nil)
+}
+
+// LoadInjected is Load with a fault injector interposed on file reads (see
+// ReadInjected). Suite-graph generation does not touch the filesystem and
+// is unaffected.
+func LoadInjected(file, suiteName string, scale int, in *fault.Injector) (*graph.Graph, error) {
 	switch {
 	case file != "":
-		return ReadFile(file)
+		return ReadFileInjected(file, in)
 	case suiteName != "":
 		cfg, err := gen.SuiteConfig(suiteName)
 		if err != nil {

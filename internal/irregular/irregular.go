@@ -14,6 +14,7 @@
 package irregular
 
 import (
+	"context"
 	"math"
 
 	"micgraph/internal/graph"
@@ -56,39 +57,70 @@ func Sequential(g *graph.Graph, in []float64, iter int) []float64 {
 	return out
 }
 
-// Team runs the kernel on an OpenMP-style Team.
+// Team runs the kernel on an OpenMP-style Team. Panics propagate; use
+// TeamCtx for errors and cancellation.
 func Team(g *graph.Graph, in []float64, iter int, team *sched.Team, opts sched.ForOptions) []float64 {
+	out, err := TeamCtx(nil, g, in, iter, team, opts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TeamCtx is Team with cooperative cancellation at chunk-claim boundaries;
+// on failure the partially written output is returned alongside the error.
+func TeamCtx(ctx context.Context, g *graph.Graph, in []float64, iter int, team *sched.Team, opts sched.ForOptions) ([]float64, error) {
 	out := make([]float64, len(in))
-	team.For(g.NumVertices(), opts, func(lo, hi, w int) {
+	err := team.ForCtx(ctx, g.NumVertices(), opts, func(lo, hi, w int) {
 		for v := lo; v < hi; v++ {
 			out[v] = updateOne(g, in, int32(v), iter)
 		}
 	})
-	return out
+	return out, err
 }
 
-// Cilk runs the kernel as a cilk_for on the work-stealing pool.
+// Cilk runs the kernel as a cilk_for on the work-stealing pool. Panics
+// propagate; use CilkCtx for errors and cancellation.
 func Cilk(g *graph.Graph, in []float64, iter int, pool *sched.Pool, grain int) []float64 {
+	out, err := CilkCtx(nil, g, in, iter, pool, grain)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// CilkCtx is Cilk with cooperative cancellation at task-split boundaries.
+func CilkCtx(ctx context.Context, g *graph.Graph, in []float64, iter int, pool *sched.Pool, grain int) ([]float64, error) {
 	out := make([]float64, len(in))
-	pool.ParallelFor(g.NumVertices(), grain, func(lo, hi int, c *sched.Ctx) {
+	err := pool.ParallelForCtx(ctx, g.NumVertices(), grain, func(lo, hi int, c *sched.Ctx) {
 		for v := lo; v < hi; v++ {
 			out[v] = updateOne(g, in, int32(v), iter)
 		}
 	})
+	return out, err
+}
+
+// TBB runs the kernel as a TBB parallel_for over a blocked range. Panics
+// propagate; use TBBCtx for errors and cancellation.
+func TBB(g *graph.Graph, in []float64, iter int, pool *sched.Pool, part sched.Partitioner, grain int) []float64 {
+	out, err := TBBCtx(nil, g, in, iter, pool, part, grain)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// TBB runs the kernel as a TBB parallel_for over a blocked range.
-func TBB(g *graph.Graph, in []float64, iter int, pool *sched.Pool, part sched.Partitioner, grain int) []float64 {
+// TBBCtx is TBB with cooperative cancellation at range-split boundaries.
+func TBBCtx(ctx context.Context, g *graph.Graph, in []float64, iter int, pool *sched.Pool, part sched.Partitioner, grain int) ([]float64, error) {
 	out := make([]float64, len(in))
 	var aff sched.AffinityState
-	sched.ParallelForRange(pool, sched.Range{Lo: 0, Hi: g.NumVertices(), Grain: grain}, part, &aff,
+	err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: g.NumVertices(), Grain: grain}, part, &aff,
 		func(lo, hi int, c *sched.Ctx) {
 			for v := lo; v < hi; v++ {
 				out[v] = updateOne(g, in, int32(v), iter)
 			}
 		})
-	return out
+	return out, err
 }
 
 // Sweep runs `sweeps` Jacobi relaxations (each one full kernel application)

@@ -30,6 +30,8 @@
 // reported metric) are ratios of simulated times.
 package mic
 
+import "micgraph/internal/fault"
+
 // Machine describes the simulated hardware and its cost parameters. All
 // costs are in abstract cycles.
 type Machine struct {
@@ -92,6 +94,41 @@ type Machine struct {
 	// Phase barrier: BarrierBase + BarrierPerThread·t cycles per barrier.
 	BarrierBase      float64
 	BarrierPerThread float64
+
+	// CoreSlowdown perturbs individual cores: entry c slows every hardware
+	// thread on core c by that fraction (0.5 = 50% slower), on top of the
+	// NoiseCore0 model. Nil or short slices mean no perturbation. Populate
+	// with WithStragglers for deterministic fault-injection experiments.
+	CoreSlowdown []float64
+}
+
+// coreSlowdown returns the straggler fraction for a core (0 when none).
+func (m *Machine) coreSlowdown(core int) float64 {
+	if core < len(m.CoreSlowdown) {
+		return m.CoreSlowdown[core]
+	}
+	return 0
+}
+
+// WithStragglers returns a copy of m whose cores have been perturbed by the
+// fault injector: for each core, site "mic/straggler" decides whether that
+// core straggles, and the site's parameter (default 0.5) sets the slowdown
+// fraction. With a nil injector or an unarmed site the copy is unperturbed.
+// Deterministic: the same injector seed always slows the same cores.
+func (m *Machine) WithStragglers(in *fault.Injector) *Machine {
+	out := *m
+	slow := in.Param("mic/straggler", 0.5)
+	var sd []float64
+	for core := 0; core < m.Cores; core++ {
+		if in.Fire("mic/straggler") {
+			if sd == nil {
+				sd = make([]float64, m.Cores)
+			}
+			sd[core] = slow
+		}
+	}
+	out.CoreSlowdown = sd
+	return &out
 }
 
 // MaxThreads returns the hardware thread count (cores × SMT ways).

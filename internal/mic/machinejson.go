@@ -49,6 +49,11 @@ func (m *Machine) Validate() error {
 	case m.BarrierBase < 0 || m.BarrierPerThread < 0:
 		return fmt.Errorf("mic: machine %q has negative barrier costs", m.Name)
 	}
+	for c, sd := range m.CoreSlowdown {
+		if sd < 0 {
+			return fmt.Errorf("mic: machine %q: core %d slowdown is negative", m.Name, c)
+		}
+	}
 	return nil
 }
 

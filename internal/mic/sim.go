@@ -133,6 +133,11 @@ func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
 		if thread%m.Cores == m.Cores-1 && t >= m.Cores {
 			total *= 1 + m.NoiseCore0
 		}
+		// Injected straggler cores (fault experiments) slow every thread
+		// they host, regardless of occupancy.
+		if sd := m.coreSlowdown(thread % m.Cores); sd > 0 {
+			total *= 1 + sd
+		}
 		return total
 	}
 

@@ -3,6 +3,7 @@ package mic
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -421,7 +422,7 @@ func TestMachineJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *m != *KNF() {
+	if !reflect.DeepEqual(m, KNF()) {
 		t.Errorf("round trip changed the machine: %+v", m)
 	}
 }

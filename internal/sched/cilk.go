@@ -1,8 +1,10 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -13,13 +15,33 @@ import (
 // pushes spawned tasks at the bottom, and steals from the top of a randomly
 // chosen victim when idle. Pool also underlies the TBB-style partitioners in
 // tbb.go. Create with NewPool, release with Close.
+//
+// # Shutdown states
+//
+// A Pool moves through three explicit states:
+//
+//  1. open: closed == false. Run/RunE/RunCtx accept work.
+//  2. closing: closed == true, active > 0. Close has been called while runs
+//     are still in flight; new runs are refused (ErrPoolClosed), but the
+//     workers keep executing until every in-flight run has completed — a
+//     worker never exits early just because the queue is transiently empty
+//     mid-run.
+//  3. closed: closed == true, active == 0 and the queue is empty. Workers
+//     exit; Close returns after all of them have.
+//
+// The active-run counter is what makes the transition safe: the historical
+// exit condition "closed && queued == 0" could be observed mid-run between
+// a task finishing and its continuation being enqueued, silently shrinking
+// the worker set. Workers now only exit when no run is in flight.
 type Pool struct {
 	workers []*worker
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queued  atomic.Int64
+	active  atomic.Int64 // in-flight Run/RunE/RunCtx calls
 	closed  atomic.Bool
 	wg      sync.WaitGroup
+	inject  InjectFunc // optional fault hook, fired per task execution
 }
 
 // worker is one scheduler thread of the pool.
@@ -32,10 +54,14 @@ type worker struct {
 }
 
 // scope tracks the outstanding children of one spawning task, so Sync knows
-// when they have all completed.
+// when they have all completed. Every scope of a run shares the root's
+// panic slot and context, so a failure or cancellation anywhere in the task
+// tree is visible everywhere.
 type scope struct {
 	pending atomic.Int64
-	done    chan struct{} // non-nil only for the root scope
+	done    chan struct{}   // non-nil only for the root scope
+	err     *panicSlot      // shared panic holder of the run
+	ctx     context.Context // shared cancellation of the run (may be nil)
 }
 
 func (sc *scope) complete() {
@@ -64,6 +90,17 @@ func (c *Ctx) Pool() *Pool { return c.w.pool }
 // subdivides a range further only when it gets stolen").
 func (c *Ctx) Stolen() bool { return c.w.stolen }
 
+// Cancelled reports whether the run this task belongs to has been cancelled
+// or has failed: true once the run's context is done or any task of the run
+// has panicked. Long loop bodies may poll it to bail out early; the loop
+// drivers poll it at every split/claim boundary.
+func (c *Ctx) Cancelled() bool {
+	if c.sc.err != nil && c.sc.err.failed() {
+		return true
+	}
+	return c.sc.ctx != nil && c.sc.ctx.Err() != nil
+}
+
 // NewPool creates a work-stealing pool with n workers.
 func NewPool(n int) *Pool {
 	if n < 1 {
@@ -84,8 +121,14 @@ func NewPool(n int) *Pool {
 // Workers returns the number of workers.
 func (p *Pool) Workers() int { return len(p.workers) }
 
-// Close shuts the pool down. Outstanding tasks are abandoned; only call
-// Close after every Run has returned.
+// SetInject installs a fault-injection hook fired before every task
+// execution (site "pool/task"). Pass nil to disable. Must not be called
+// while a run is in flight.
+func (p *Pool) SetInject(f InjectFunc) { p.inject = f }
+
+// Close shuts the pool down: new runs are refused immediately, in-flight
+// runs drain to completion, then the workers exit. Close blocks until they
+// have. Closing an already-closed pool is a no-op.
 func (p *Pool) Close() {
 	if p.closed.Swap(true) {
 		return
@@ -98,24 +141,81 @@ func (p *Pool) Close() {
 
 // Run executes root on the pool and blocks until root and every task it
 // transitively spawned have completed (Cilk's implicit sync at function
-// exit applies to every task).
+// exit applies to every task). Run panics if the pool is closed, and
+// re-panics any task panic as a *PanicError on the caller's goroutine.
 func (p *Pool) Run(root func(*Ctx)) {
-	if p.closed.Load() {
-		panic("sched: Run on closed Pool")
+	if err := p.RunE(root); err != nil {
+		if err == ErrPoolClosed {
+			panic("sched: Run on closed Pool")
+		}
+		panic(err)
 	}
-	rootScope := &scope{done: make(chan struct{})}
+}
+
+// RunE is Run returning errors instead of panicking: ErrPoolClosed when the
+// pool is shut down, or a *PanicError carrying the first task panic with
+// its stack. On a task panic the rest of the task tree drains cleanly (no
+// task is abandoned mid-flight) and the pool remains usable.
+func (p *Pool) RunE(root func(*Ctx)) error {
+	return p.RunCtx(nil, root)
+}
+
+// RunCtx is RunE with cooperative cancellation: once ctx is done, task
+// bodies stop being invoked (queued tasks still drain their scope
+// bookkeeping, so the run terminates promptly) and RunCtx returns
+// ctx.Err(). A task panic takes precedence over cancellation. ctx may be
+// nil.
+func (p *Pool) RunCtx(ctx context.Context, root func(*Ctx)) error {
+	p.active.Add(1)
+	defer p.runDone()
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	rootScope := &scope{done: make(chan struct{}), err: &panicSlot{}, ctx: ctx}
 	rootScope.pending.Add(1)
 	p.submit(p.workers[0], task{scope: rootScope, fn: func(w *worker) {
 		runTask(w, rootScope, root)
 	}})
 	<-rootScope.done
+	if pe := rootScope.err.get(); pe != nil {
+		return pe
+	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
-// runTask executes fn in a fresh child scope and performs the implicit sync.
+// runDone retires one in-flight run and, when it was the last during a
+// close, wakes the workers so they can observe the closed state.
+func (p *Pool) runDone() {
+	if p.active.Add(-1) == 0 && p.closed.Load() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// runTask executes fn in a fresh child scope (inheriting the run's panic
+// slot and context) with panic containment, then performs the implicit
+// sync. A panicking task is recorded on the run; its already-spawned
+// children still drain so no goroutine or scope count leaks.
 func runTask(w *worker, parent *scope, fn func(*Ctx)) {
-	ctx := &Ctx{w: w, sc: &scope{}}
-	fn(ctx)
-	ctx.Sync() // implicit sync at task exit
+	ctx := &Ctx{w: w, sc: &scope{err: parent.err, ctx: parent.ctx}}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				parent.err.record(w.id, r, debug.Stack())
+			}
+		}()
+		if w.pool.inject != nil {
+			w.pool.inject("pool/task", w.id)
+		}
+		if !ctx.Cancelled() {
+			fn(ctx)
+		}
+	}()
+	ctx.Sync() // implicit sync at task exit, also on panic/cancellation
 	parent.complete()
 }
 
@@ -164,6 +264,8 @@ func (p *Pool) submitTo(workerID int, sc *scope, f func(*Ctx)) {
 }
 
 // loop is the worker scheduler: pop own work, else steal, else sleep.
+// Workers exit only in the fully-closed state: closed, no queued tasks,
+// and no run in flight (see the Pool shutdown-state documentation).
 func (w *worker) loop() {
 	defer w.pool.wg.Done()
 	p := w.pool
@@ -172,12 +274,12 @@ func (w *worker) loop() {
 			continue
 		}
 		p.mu.Lock()
-		for p.queued.Load() == 0 && !p.closed.Load() {
+		for p.queued.Load() == 0 && !(p.closed.Load() && p.active.Load() == 0) {
 			p.cond.Wait()
 		}
-		closed := p.closed.Load() && p.queued.Load() == 0
+		exit := p.closed.Load() && p.queued.Load() == 0 && p.active.Load() == 0
 		p.mu.Unlock()
-		if closed {
+		if exit {
 			return
 		}
 	}
@@ -237,7 +339,8 @@ func DefaultGrain(n, workers int) int {
 
 // For executes body over [lo, hi) by recursive binary splitting down to
 // grain (cilk_for). grain <= 0 selects DefaultGrain. body receives the
-// subrange and a Ctx for nested spawning and TLS access.
+// subrange and a Ctx for nested spawning and TLS access. When the run has
+// been cancelled, splitting stops and remaining subranges are skipped.
 func (c *Ctx) For(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 	if hi <= lo {
 		return
@@ -251,6 +354,9 @@ func (c *Ctx) For(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 
 func (c *Ctx) forSplit(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 	for hi-lo > grain {
+		if c.Cancelled() {
+			return
+		}
 		mid := lo + (hi-lo)/2
 		lo2, hi2 := lo, mid
 		c.Spawn(func(cc *Ctx) {
@@ -258,13 +364,32 @@ func (c *Ctx) forSplit(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 		})
 		lo = mid
 	}
+	if c.Cancelled() {
+		return
+	}
 	body(lo, hi, c)
 }
 
 // ParallelFor is the convenience entry point: run a cilk_for over [0, n) as
-// the root task of the pool.
+// the root task of the pool. Panics (closed pool, body panic) propagate on
+// the caller's goroutine; use ParallelForE/ParallelForCtx for errors.
 func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int, c *Ctx)) {
 	p.Run(func(c *Ctx) {
+		c.For(0, n, grain, body)
+	})
+}
+
+// ParallelForE is ParallelFor returning errors instead of panicking.
+func (p *Pool) ParallelForE(n, grain int, body func(lo, hi int, c *Ctx)) error {
+	return p.RunE(func(c *Ctx) {
+		c.For(0, n, grain, body)
+	})
+}
+
+// ParallelForCtx is ParallelFor with cooperative cancellation, polled at
+// every split boundary.
+func (p *Pool) ParallelForCtx(ctx context.Context, n, grain int, body func(lo, hi int, c *Ctx)) error {
+	return p.RunCtx(ctx, func(c *Ctx) {
 		c.For(0, n, grain, body)
 	})
 }

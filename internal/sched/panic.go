@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError is the error returned by the E/Ctx loop drivers when a loop
+// body, task, or injected fault panics on a worker. It preserves the
+// original panic value and the stack of the panicking worker goroutine, so
+// a crash inside a parallel region is as debuggable as a sequential one.
+type PanicError struct {
+	Value  any    // the value passed to panic()
+	Worker int    // id of the worker the panic occurred on
+	Stack  []byte // stack trace captured at recovery point
+}
+
+// Error formats the panic with its originating stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: panic on worker %d: %v\n%s", e.Worker, e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it is itself an error, so
+// errors.Is/As see through the runtime boundary (e.g. to classify an
+// injected fault as transient).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ErrPoolClosed is returned by RunE/RunCtx when the pool has been closed.
+var ErrPoolClosed = errors.New("sched: Run on closed Pool")
+
+// panicSlot collects the first panic observed across the workers of one
+// loop or task tree. Later panics are dropped: the first failure is the
+// one that aborts the region, matching errgroup-style semantics.
+type panicSlot struct {
+	has atomic.Bool // lock-free "a panic happened" flag for hot-path polls
+	mu  sync.Mutex
+	err *PanicError
+}
+
+// failed reports (without locking) whether a panic has been recorded.
+func (s *panicSlot) failed() bool { return s.has.Load() }
+
+// record stores the panic if the slot is still empty. A re-thrown
+// *PanicError keeps its original worker and stack.
+func (s *panicSlot) record(worker int, v any, stack []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if pe, ok := v.(*PanicError); ok {
+		s.err = pe
+	} else {
+		s.err = &PanicError{Value: v, Worker: worker, Stack: stack}
+	}
+	s.has.Store(true)
+}
+
+func (s *panicSlot) get() *PanicError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// InjectFunc is an optional fault-injection hook called by the runtimes at
+// chunk-claim and task-execution boundaries (site identifies the boundary,
+// e.g. "team/chunk" or "pool/task"). A hook that panics is contained
+// exactly like a panicking loop body; a hook that sleeps models a stalled
+// worker. See internal/fault for a deterministic implementation.
+type InjectFunc func(site string, worker int)

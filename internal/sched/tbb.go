@@ -1,6 +1,9 @@
 package sched
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // TBB-style blocked ranges and partitioners, executed on the work-stealing
 // Pool. A Range plays blocked_range<int>: an iteration interval with a grain
@@ -68,32 +71,54 @@ func (p Partitioner) String() string {
 
 // ParallelForRange executes body over r on pool using the given partitioner.
 // For AffinityPartitioner, pass a persistent *AffinityState; it may be nil
-// for the other partitioners.
+// for the other partitioners. Panics (closed pool, body panic) propagate on
+// the caller's goroutine; use ParallelForRangeCtx for errors and
+// cancellation.
 func ParallelForRange(pool *Pool, r Range, part Partitioner, aff *AffinityState, body func(lo, hi int, c *Ctx)) {
+	if err := ParallelForRangeCtx(nil, pool, r, part, aff, body); err != nil {
+		if err == ErrPoolClosed {
+			panic("sched: Run on closed Pool")
+		}
+		panic(err)
+	}
+}
+
+// ParallelForRangeCtx is ParallelForRange returning the first body panic as
+// a *PanicError and polling ctx (which may be nil) at every split boundary
+// for cooperative cancellation.
+func ParallelForRangeCtx(ctx context.Context, pool *Pool, r Range, part Partitioner, aff *AffinityState, body func(lo, hi int, c *Ctx)) error {
 	if r.Size() <= 0 {
-		return
+		return nil
 	}
 	switch part {
 	case SimplePartitioner:
-		pool.Run(func(c *Ctx) { simpleSplit(c, r, body) })
+		return pool.RunCtx(ctx, func(c *Ctx) { simpleSplit(c, r, body) })
 	case AutoPartitioner:
-		pool.Run(func(c *Ctx) { autoRoot(c, r, body) })
+		return pool.RunCtx(ctx, func(c *Ctx) { autoRoot(c, r, body) })
 	case AffinityPartitioner:
 		if aff == nil {
 			panic("sched: AffinityPartitioner requires an AffinityState")
 		}
-		affinityRun(pool, r, aff, body)
+		return affinityRun(ctx, pool, r, aff, body)
 	default:
 		panic(fmt.Sprintf("sched: unknown partitioner %d", part))
 	}
 }
 
 // simpleSplit recursively halves down to the grain, spawning the left part.
+// Cancellation is polled at each split so a cancelled run stops subdividing
+// and skips unexecuted subranges.
 func simpleSplit(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 	for r.IsDivisible() {
+		if c.Cancelled() {
+			return
+		}
 		left, right := r.Split()
 		c.Spawn(func(cc *Ctx) { simpleSplit(cc, left, body) })
 		r = right
+	}
+	if c.Cancelled() {
+		return
 	}
 	body(r.Lo, r.Hi, c)
 	// implicit sync at task exit joins the spawned halves
@@ -120,10 +145,16 @@ func autoRoot(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 // giving the next thief something big to take.
 func autoRun(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 	for c.Stolen() && r.IsDivisible() {
+		if c.Cancelled() {
+			return
+		}
 		left, right := r.Split()
 		rr := right
 		c.Spawn(func(cc *Ctx) { autoRun(cc, rr, body) })
 		r = left
+	}
+	if c.Cancelled() {
+		return
 	}
 	body(r.Lo, r.Hi, c)
 }
@@ -144,7 +175,7 @@ type AffinityState struct {
 // affinityRun decomposes r into ~4·workers blocks (first run: round-robin
 // homes) and submits each block directly to its home worker's deque; idle
 // workers may still steal blocks, and theft updates the block's home.
-func affinityRun(pool *Pool, r Range, aff *AffinityState, body func(lo, hi int, c *Ctx)) {
+func affinityRun(ctx context.Context, pool *Pool, r Range, aff *AffinityState, body func(lo, hi int, c *Ctx)) error {
 	p := pool.Workers()
 	if aff.blocks == nil || aff.n != r.Size() || aff.workers != p {
 		nb := 4 * p
@@ -164,11 +195,14 @@ func affinityRun(pool *Pool, r Range, aff *AffinityState, body func(lo, hi int, 
 		aff.n = r.Size()
 		aff.workers = p
 	}
-	pool.Run(func(c *Ctx) {
+	return pool.RunCtx(ctx, func(c *Ctx) {
 		for i := range aff.blocks {
 			i := i
 			blk := aff.blocks[i]
 			c.Pool().submitTo(aff.homes[i], c.sc, func(cc *Ctx) {
+				if cc.Cancelled() {
+					return
+				}
 				aff.homes[i] = cc.Worker() // theft moves the home
 				body(blk.Lo, blk.Hi, cc)
 			})
