@@ -7,6 +7,7 @@ package micgraph
 // of the real parallel kernels and the simulator itself.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"micgraph/internal/irregular"
 	"micgraph/internal/mic"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 const benchScale = 8
@@ -389,4 +391,81 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 			b.Fatal("empty")
 		}
 	}
+}
+
+// --- Telemetry overhead guards -------------------------------------------
+//
+// These pairs demonstrate the acceptance criterion that telemetry is
+// zero-cost when off: the Off variants run the exact default (nil counters /
+// Nop recorder / nil timeline) paths, the On variants the instrumented ones.
+// Compare with `go test -bench 'Telemetry.*' -count 5`.
+
+func benchTeamLoop(b *testing.B, counters *telemetry.Counters) {
+	g := benchGraph(b, "hood")
+	team := sched.NewTeam(4)
+	defer team.Close()
+	team.SetCounters(counters)
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := coloring.ColorTeam(g, team, opts); res.NumColors == 0 {
+			b.Fatal("no colors")
+		}
+	}
+}
+
+func BenchmarkTelemetryCountersOff(b *testing.B) {
+	benchTeamLoop(b, nil)
+}
+
+func BenchmarkTelemetryCountersOn(b *testing.B) {
+	benchTeamLoop(b, telemetry.NewCounters(4))
+}
+
+func benchRecordedBFS(b *testing.B, ctx context.Context) {
+	g := benchGraph(b, "pwtk")
+	src := int32(g.NumVertices() / 2)
+	team := sched.NewTeam(4)
+	defer team.Close()
+	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bfs.BlockTeamCtx(ctx, g, src, team, opts, 32, true)
+		if err != nil || res.NumLevels == 0 {
+			b.Fatal("bad traversal")
+		}
+	}
+}
+
+func BenchmarkTelemetryRecorderOff(b *testing.B) {
+	benchRecordedBFS(b, context.Background())
+}
+
+func BenchmarkTelemetryRecorderOn(b *testing.B) {
+	rec := telemetry.NewMemRecorder()
+	benchRecordedBFS(b, telemetry.WithRecorder(context.Background(), rec))
+}
+
+func benchSimObserved(b *testing.B, tl *telemetry.Timeline, st *mic.SimStats) {
+	m := mic.KNF()
+	g := benchGraph(b, "ldoor")
+	tr := mic.ColoringTrace(m, g, mic.NaturalOrder, 121)
+	cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tl != nil {
+			tl.Reset()
+		}
+		if mic.SimulateObserved(m, cfg, 121, tr, tl, st) <= 0 {
+			b.Fatal("bad time")
+		}
+	}
+}
+
+func BenchmarkTelemetrySimulateOff(b *testing.B) {
+	benchSimObserved(b, nil, nil)
+}
+
+func BenchmarkTelemetrySimulateOn(b *testing.B) {
+	benchSimObserved(b, telemetry.NewTimeline(0), &mic.SimStats{})
 }

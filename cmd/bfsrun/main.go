@@ -15,9 +15,11 @@ import (
 	"time"
 
 	"micgraph/internal/bfs"
+	"micgraph/internal/core"
 	"micgraph/internal/graphio"
 	"micgraph/internal/perfmodel"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 func main() {
@@ -32,8 +34,23 @@ func main() {
 		block   = flag.Int("block", bfs.DefaultBlockSize, "block queue block size")
 		model   = flag.Bool("model", false, "also print the §III-C achievable-speedup model")
 		timeout = flag.Duration("timeout", 0, "abort the traversal after this long (0 = no deadline)")
+		metrics = flag.String("metrics-out", "", "write per-level phase metrics and scheduler counters as JSONL to `file`")
+		prof    core.Profiling
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfsrun:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+		}
+		os.Exit(code)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -42,10 +59,18 @@ func main() {
 		defer cancel()
 	}
 
+	var rec *telemetry.MemRecorder
+	var counters *telemetry.Counters
+	if *metrics != "" {
+		rec = telemetry.NewMemRecorder()
+		ctx = telemetry.WithRecorder(ctx, rec)
+		counters = telemetry.NewCounters(*workers)
+	}
+
 	g, err := graphio.Load(*file, *name, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	src := int32(*source)
 	if src < 0 {
@@ -63,34 +88,44 @@ func main() {
 	case "omp-block", "omp-block-relaxed":
 		team := sched.NewTeam(*workers)
 		defer team.Close()
+		team.SetCounters(counters)
 		res, runErr = bfs.BlockTeamCtx(ctx, g, src, team, opts, *block, strings.HasSuffix(*variant, "relaxed"))
 	case "tbb-block", "tbb-block-relaxed":
 		pool := sched.NewPool(*workers)
 		defer pool.Close()
+		pool.SetCounters(counters)
 		res, runErr = bfs.BlockTBBCtx(ctx, g, src, pool, sched.SimplePartitioner, *block, *block,
 			strings.HasSuffix(*variant, "relaxed"))
 	case "bag":
 		pool := sched.NewPool(*workers)
 		defer pool.Close()
+		pool.SetCounters(counters)
 		res, runErr = bfs.BagCilkCtx(ctx, g, src, pool, 0)
 	case "tls":
 		team := sched.NewTeam(*workers)
 		defer team.Close()
+		team.SetCounters(counters)
 		res, runErr = bfs.TLSTeamCtx(ctx, g, src, team, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "bfsrun: unknown variant %q\n", *variant)
-		os.Exit(2)
+		exit(2)
 	}
 	elapsed := time.Since(start)
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, g.String(), *variant, *workers, elapsed, rec, counters); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsrun:", err)
+			exit(1)
+		}
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "bfsrun: traversal aborted after %v (%d levels done): %v\n",
 			elapsed.Round(time.Microsecond), res.NumLevels, runErr)
-		os.Exit(1)
+		exit(1)
 	}
 
 	if err := bfs.Validate(g, src, res.Levels); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun: INVALID BFS:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	var reached int64
 	maxWidth := int64(0)
@@ -111,4 +146,46 @@ func main() {
 		}
 		fmt.Printf("  t=inf  %.2f\n", perfmodel.UpperBound(res.Widths, *block))
 	}
+	exit(0)
+}
+
+// writeMetrics dumps one run's telemetry as JSONL: a run header, one line
+// per recorded kernel phase, and the scheduler counter snapshot.
+func writeMetrics(path, graph, variant string, workers int, elapsed time.Duration,
+	rec *telemetry.MemRecorder, counters *telemetry.Counters) error {
+	out, err := telemetry.CreateJSONL(path)
+	if err != nil {
+		return err
+	}
+	type runRecord struct {
+		Record  string `json:"record"`
+		Cmd     string `json:"cmd"`
+		Graph   string `json:"graph"`
+		Variant string `json:"variant"`
+		Workers int    `json:"workers"`
+		TimeNS  int64  `json:"time_ns"`
+	}
+	type phaseRecord struct {
+		Record string `json:"record"`
+		telemetry.PhaseSample
+	}
+	type counterRecord struct {
+		Record string `json:"record"`
+		telemetry.Snapshot
+	}
+	if err := out.Write(runRecord{"run", "bfsrun", graph, variant, workers, elapsed.Nanoseconds()}); err != nil {
+		out.Close()
+		return err
+	}
+	for _, s := range rec.Samples() {
+		if err := out.Write(phaseRecord{"phase", s}); err != nil {
+			out.Close()
+			return err
+		}
+	}
+	if err := out.Write(counterRecord{"counters", counters.Snapshot()}); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

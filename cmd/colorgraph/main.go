@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"micgraph/internal/coloring"
+	"micgraph/internal/core"
 	"micgraph/internal/graphio"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 func main() {
@@ -32,8 +34,23 @@ func main() {
 		shuffle = flag.Bool("shuffle", false, "randomly relabel vertices first (the Figure 2 setup)")
 		d2      = flag.Bool("d2", false, "distance-2 coloring (sequential or openmp only)")
 		timeout = flag.Duration("timeout", 0, "abort the coloring after this long (0 = no deadline)")
+		metrics = flag.String("metrics-out", "", "write per-round phase metrics and scheduler counters as JSONL to `file`")
+		prof    core.Profiling
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "colorgraph:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "colorgraph:", err)
+		}
+		os.Exit(code)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -42,10 +59,18 @@ func main() {
 		defer cancel()
 	}
 
+	var rec *telemetry.MemRecorder
+	var counters *telemetry.Counters
+	if *metrics != "" {
+		rec = telemetry.NewMemRecorder()
+		ctx = telemetry.WithRecorder(ctx, rec)
+		counters = telemetry.NewCounters(*workers)
+	}
+
 	g, err := graphio.Load(*file, *name, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "colorgraph:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if *shuffle {
 		g = g.Shuffled(1)
@@ -61,30 +86,40 @@ func main() {
 	case *d2:
 		team := sched.NewTeam(*workers)
 		defer team.Close()
+		team.SetCounters(counters)
 		res = coloring.ColorTeamD2(g, team, sched.ForOptions{Policy: parsePolicy(*policy), Chunk: *chunk})
 	case *runtime == "seq":
 		res = coloring.SeqGreedy(g)
 	case *runtime == "openmp":
 		team := sched.NewTeam(*workers)
 		defer team.Close()
+		team.SetCounters(counters)
 		res, runErr = coloring.ColorTeamCtx(ctx, g, team, sched.ForOptions{Policy: parsePolicy(*policy), Chunk: *chunk})
 	case *runtime == "cilk":
 		pool := sched.NewPool(*workers)
 		defer pool.Close()
+		pool.SetCounters(counters)
 		res, runErr = coloring.ColorCilkCtx(ctx, g, pool, *chunk, coloring.CilkHolder)
 	case *runtime == "tbb":
 		pool := sched.NewPool(*workers)
 		defer pool.Close()
+		pool.SetCounters(counters)
 		res, runErr = coloring.ColorTBBCtx(ctx, g, pool, parsePartitioner(*part), *chunk)
 	default:
 		fmt.Fprintf(os.Stderr, "colorgraph: unknown runtime %q\n", *runtime)
-		os.Exit(2)
+		exit(2)
 	}
 	elapsed := time.Since(start)
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, g.String(), *runtime, *workers, elapsed, rec, counters); err != nil {
+			fmt.Fprintln(os.Stderr, "colorgraph:", err)
+			exit(1)
+		}
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "colorgraph: aborted after %v (%d rounds done): %v\n",
 			elapsed.Round(time.Microsecond), res.Rounds, runErr)
-		os.Exit(1)
+		exit(1)
 	}
 
 	validate := coloring.Validate
@@ -93,10 +128,52 @@ func main() {
 	}
 	if err := validate(g, res.Colors); err != nil {
 		fmt.Fprintln(os.Stderr, "colorgraph: INVALID COLORING:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("colors: %d  rounds: %d  conflicts/round: %v  time: %v  (valid)\n",
 		res.NumColors, res.Rounds, res.Conflicts, elapsed.Round(time.Microsecond))
+	exit(0)
+}
+
+// writeMetrics dumps one run's telemetry as JSONL: a run header, one line
+// per coloring round, and the scheduler counter snapshot.
+func writeMetrics(path, graph, runtime string, workers int, elapsed time.Duration,
+	rec *telemetry.MemRecorder, counters *telemetry.Counters) error {
+	out, err := telemetry.CreateJSONL(path)
+	if err != nil {
+		return err
+	}
+	type runRecord struct {
+		Record  string `json:"record"`
+		Cmd     string `json:"cmd"`
+		Graph   string `json:"graph"`
+		Runtime string `json:"runtime"`
+		Workers int    `json:"workers"`
+		TimeNS  int64  `json:"time_ns"`
+	}
+	type phaseRecord struct {
+		Record string `json:"record"`
+		telemetry.PhaseSample
+	}
+	type counterRecord struct {
+		Record string `json:"record"`
+		telemetry.Snapshot
+	}
+	if err := out.Write(runRecord{"run", "colorgraph", graph, runtime, workers, elapsed.Nanoseconds()}); err != nil {
+		out.Close()
+		return err
+	}
+	for _, s := range rec.Samples() {
+		if err := out.Write(phaseRecord{"phase", s}); err != nil {
+			out.Close()
+			return err
+		}
+	}
+	if err := out.Write(counterRecord{"counters", counters.Snapshot()}); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 func parsePolicy(s string) sched.Policy {

@@ -3,9 +3,11 @@ package bfs
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 // Pennant bag (Leiserson & Schardl, SPAA 2010): a bag is an array of
@@ -234,10 +236,17 @@ func BagCilkCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.P
 		}
 		res.Duplicates = processed - reached
 	}
+	rec := telemetry.FromContext(ctx)
 	for lv := int32(1); !cur.Empty(); lv++ {
 		maxLevel = lv - 1
 		builders := make([]bagBuilder, pool.Workers())
 		var levelProcessed atomic.Int64
+		var edges int64
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			edges = bagEdges(g, cur)
+			levelStart = time.Now()
+		}
 		err := cur.WalkCtx(ctx, pool, func(c *sched.Ctx, items []int32) {
 			bb := &builders[c.Worker()]
 			for _, v := range items {
@@ -250,6 +259,15 @@ func BagCilkCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.P
 			levelProcessed.Add(int64(len(items)))
 		})
 		processed += levelProcessed.Load()
+		if telemetry.Active(rec) {
+			var claims int64
+			for i := range builders {
+				claims += builders[i].count
+			}
+			s := levelSample(lv-1, levelProcessed.Load(), edges, claims)
+			s.Duration = time.Since(levelStart)
+			rec.Record(s)
+		}
 		if err != nil {
 			// Partial level: vertices may already be claimed at level lv.
 			maxLevel = lv

@@ -3,9 +3,11 @@ package bfs
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 // Layered parallel BFS (Algorithm 7) over block-accessed queues, in the
@@ -149,6 +151,7 @@ func BlockTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched
 
 	writers := make([]*Writer, team.Workers())
 	processedBy := make([]int64, team.Workers())
+	rec := telemetry.FromContext(ctx)
 
 	var processed int64
 	maxLevel := int32(0)
@@ -159,6 +162,12 @@ func BlockTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched
 			break
 		}
 		maxLevel = lv - 1
+		var edges int64
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			edges = frontierEdges(g, main, spill)
+			levelStart = time.Now()
+		}
 		for w := range writers {
 			writers[w] = qp.next.NewWriter()
 			processedBy[w] = 0
@@ -171,9 +180,17 @@ func BlockTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched
 			}
 			processedBy[w] += count
 		})
+		var levelProcessed int64
 		for w := range writers {
 			writers[w].Flush()
-			processed += processedBy[w]
+			levelProcessed += processedBy[w]
+		}
+		processed += levelProcessed
+		if telemetry.Active(rec) {
+			nm, ns := qp.next.Entries()
+			s := levelSample(lv-1, levelProcessed, edges, frontierCount(nm, ns))
+			s.Duration = time.Since(levelStart)
+			rec.Record(s)
 		}
 		if err != nil {
 			// Chunks that ran before the abort may have claimed vertices
@@ -214,6 +231,7 @@ func BlockTBBCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.
 	writers := make([]*Writer, pool.Workers())
 	counts := sched.NewCombinable(pool.Workers(), func() int64 { return 0 })
 	var aff sched.AffinityState
+	rec := telemetry.FromContext(ctx)
 
 	var processed int64
 	maxLevel := int32(0)
@@ -224,6 +242,12 @@ func BlockTBBCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.
 			break
 		}
 		maxLevel = lv - 1
+		var edges int64
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			edges = frontierEdges(g, main, spill)
+			levelStart = time.Now()
+		}
 		for w := range writers {
 			writers[w] = qp.next.NewWriter()
 		}
@@ -239,7 +263,14 @@ func BlockTBBCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.
 		for w := range writers {
 			writers[w].Flush()
 		}
-		processed = counts.Combine(0, addInt64) - before + processed
+		levelProcessed := counts.Combine(0, addInt64) - before
+		processed += levelProcessed
+		if telemetry.Active(rec) {
+			nm, ns := qp.next.Entries()
+			s := levelSample(lv-1, levelProcessed, edges, frontierCount(nm, ns))
+			s.Duration = time.Since(levelStart)
+			rec.Record(s)
+		}
 		if err != nil {
 			// Partial level: vertices may already be claimed at level lv.
 			return qp.finish(processed, lv), err

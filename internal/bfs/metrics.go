@@ -1,0 +1,86 @@
+package bfs
+
+import (
+	"micgraph/internal/graph"
+	"micgraph/internal/telemetry"
+)
+
+// Per-level telemetry helpers. All of them run only when a Recorder is
+// active on the kernel's context (telemetry.Active); the uninstrumented
+// path never calls them, so the default runs pay nothing.
+
+// frontierCount counts the real (non-sentinel) entries of a block-queue
+// frontier.
+func frontierCount(main, spill []int32) int64 {
+	var n int64
+	for _, v := range main {
+		if v != Sentinel {
+			n++
+		}
+	}
+	for _, v := range spill {
+		if v != Sentinel {
+			n++
+		}
+	}
+	return n
+}
+
+// frontierEdges sums the degrees of the real entries of a block-queue
+// frontier — the number of edges the level expansion will relax.
+func frontierEdges(g *graph.Graph, main, spill []int32) int64 {
+	var edges int64
+	for _, v := range main {
+		if v != Sentinel {
+			edges += int64(g.Degree(v))
+		}
+	}
+	for _, v := range spill {
+		if v != Sentinel {
+			edges += int64(g.Degree(v))
+		}
+	}
+	return edges
+}
+
+// sliceEdges sums the degrees of a plain vertex slice frontier.
+func sliceEdges(g *graph.Graph, vs []int32) int64 {
+	var edges int64
+	for _, v := range vs {
+		edges += int64(g.Degree(v))
+	}
+	return edges
+}
+
+// bagEdges sums the degrees of every vertex in a pennant bag (sequential
+// walk; telemetry pre-pass only).
+func bagEdges(g *graph.Graph, b *Bag) int64 {
+	var edges int64
+	var walk func(n *pennantNode)
+	walk = func(n *pennantNode) {
+		for n != nil {
+			for _, v := range n.items {
+				edges += int64(g.Degree(v))
+			}
+			if n.left != nil {
+				walk(n.left)
+			}
+			n = n.right
+		}
+	}
+	for _, p := range b.pennants {
+		walk(p)
+	}
+	return edges
+}
+
+// levelSample builds the PhaseSample for one completed BFS level: the
+// frontier being expanded was at depth `depth`, held `items` vertices whose
+// `edges` outgoing edges were relaxed, and claimed `claims` vertices for the
+// next level.
+func levelSample(depth int32, items, edges, claims int64) telemetry.PhaseSample {
+	return telemetry.PhaseSample{
+		Kernel: "bfs", Phase: "level", Index: int(depth),
+		Items: items, Edges: edges, Claims: claims,
+	}
+}

@@ -3,9 +3,11 @@ package bfs
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 // TLSTeam runs the SNAP v0.4-style layered BFS (the paper's OpenMP-TLS):
@@ -39,12 +41,19 @@ func TLSTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.T
 	locals := make([][]int32, workers)
 	cur := []int32{source}
 	next := make([]int32, 0, n)
+	rec := telemetry.FromContext(ctx)
 
 	var processed int64
 	maxLevel := int32(0)
 	for lv := int32(1); len(cur) > 0; lv++ {
 		maxLevel = lv - 1
 		processed += int64(len(cur))
+		var edges int64
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			edges = sliceEdges(g, cur)
+			levelStart = time.Now()
+		}
 		for w := range locals {
 			locals[w] = locals[w][:0]
 		}
@@ -78,6 +87,11 @@ func TLSTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.T
 		next = next[:0]
 		for _, local := range locals {
 			next = append(next, local...)
+		}
+		if telemetry.Active(rec) {
+			s := levelSample(lv-1, int64(len(curSnapshot)), edges, int64(len(next)))
+			s.Duration = time.Since(levelStart)
+			rec.Record(s)
 		}
 		cur, next = next, cur
 	}

@@ -3,9 +3,11 @@ package coloring
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 // This file implements the iterative parallel speculative coloring
@@ -69,6 +71,23 @@ func appendConflict(next []int32, count *atomic.Int64, v int32) {
 	next[idx] = v
 }
 
+// roundSample builds the PhaseSample for one completed speculative-coloring
+// round: visit held the vertices (re)colored this round, whose adjacency
+// edges were examined twice (tentative + conflict detection), and conflicts
+// of them were queued for the next round. Telemetry-only path.
+func roundSample(g *graph.Graph, round int, visit []int32, conflicts int, start time.Time) telemetry.PhaseSample {
+	dur := time.Since(start)
+	var edges int64
+	for _, v := range visit {
+		edges += int64(g.Degree(v))
+	}
+	return telemetry.PhaseSample{
+		Kernel: "coloring", Phase: "round", Index: round,
+		Items: int64(len(visit)), Edges: edges, Claims: int64(conflicts),
+		Duration: dur,
+	}
+}
+
 // ColorTeam runs the iterative parallel coloring on an OpenMP-style Team
 // with the given loop options. A body panic propagates as a
 // *sched.PanicError; use ColorTeamCtx for errors and cancellation.
@@ -93,9 +112,14 @@ func ColorTeamCtx(ctx context.Context, g *graph.Graph, team *sched.Team, opts sc
 	visit := graph.IdentityPermutation(n)
 	res := Result{Colors: colors}
 	maxColor := int32(0)
+	rec := telemetry.FromContext(ctx)
 
 	for len(visit) > 0 {
 		res.Rounds++
+		var roundStart time.Time
+		if telemetry.Active(rec) {
+			roundStart = time.Now()
+		}
 		// Tentative coloring (Algorithm 3) with per-worker local maxima,
 		// reduced by the main goroutine afterwards.
 		locals := make([]int32, team.Workers())
@@ -132,6 +156,9 @@ func ColorTeamCtx(ctx context.Context, g *graph.Graph, team *sched.Team, opts sc
 		if err != nil {
 			res.NumColors = int(maxColor)
 			return res, err
+		}
+		if telemetry.Active(rec) {
+			rec.Record(roundSample(g, res.Rounds-1, visit, int(count.Load()), roundStart))
 		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))
@@ -194,10 +221,15 @@ func ColorCilkCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, grain i
 	visit := graph.IdentityPermutation(n)
 	res := Result{Colors: colors}
 	reducer := sched.NewReducerMax(workers, 0)
+	rec := telemetry.FromContext(ctx)
 
 	for len(visit) > 0 {
 		res.Rounds++
 		vs := visit
+		var roundStart time.Time
+		if telemetry.Active(rec) {
+			roundStart = time.Now()
+		}
 		err := pool.ParallelForCtx(ctx, len(vs), grain, func(lo, hi int, c *sched.Ctx) {
 			fc := fcView(c)
 			localMax := int32(0)
@@ -225,6 +257,9 @@ func ColorCilkCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, grain i
 		if err != nil {
 			res.NumColors = reducer.Get()
 			return res, err
+		}
+		if telemetry.Active(rec) {
+			rec.Record(roundSample(g, res.Rounds-1, vs, int(count.Load()), roundStart))
 		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))
@@ -257,6 +292,7 @@ func ColorTBBCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, part sch
 	visit := graph.IdentityPermutation(n)
 	res := Result{Colors: colors}
 	var aff sched.AffinityState
+	rec := telemetry.FromContext(ctx)
 
 	finish := func() int {
 		return int(maxC.Combine(0, func(a, b int32) int32 {
@@ -269,6 +305,10 @@ func ColorTBBCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, part sch
 	for len(visit) > 0 {
 		res.Rounds++
 		vs := visit
+		var roundStart time.Time
+		if telemetry.Active(rec) {
+			roundStart = time.Now()
+		}
 		err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
 			func(lo, hi int, c *sched.Ctx) {
 				fc := *ets.Local(c)
@@ -297,6 +337,9 @@ func ColorTBBCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, part sch
 		if err != nil {
 			res.NumColors = finish()
 			return res, err
+		}
+		if telemetry.Active(rec) {
+			rec.Record(roundSample(g, res.Rounds-1, vs, int(count.Load()), roundStart))
 		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))

@@ -73,6 +73,10 @@ type Experiment struct {
 	// Errors annotates cells (or the whole experiment) that failed under
 	// the harness's containment; see Harness. Empty on a clean run.
 	Errors []CellError
+
+	// Cells carries the per-cell simulator telemetry of the sweep. Filled
+	// only when the suite's Harness has Telemetry enabled; empty otherwise.
+	Cells []CellTelemetry
 }
 
 // TableRow is one line of Table I.
@@ -166,11 +170,16 @@ func (s *Suite) Find(name string) (*graph.Graph, gen.MeshConfig, error) {
 // returned annotations; the rest of the sweep continues. Once the harness
 // context is cancelled, remaining cells are skipped (one annotation marks
 // the cutoff) and whatever was computed is returned.
+// When the harness has Telemetry enabled, every successful sweep cell also
+// yields a CellTelemetry record (simulated time plus the simulator's
+// SimStats); baseline cells are not recorded.
 func speedupCurves(h *Harness, m *mic.Machine, configs []mic.Config, labels []string,
 	numGraphs int, threads []int,
-	traceFor func(gi, ci, t int) *mic.Trace) ([]Series, []CellError) {
+	traceFor func(gi, ci, t int) *mic.Trace) ([]Series, []CellError, []CellTelemetry) {
 
 	var errs []CellError
+	var cells []CellTelemetry
+	tele := h.telemetryOn()
 	label := func(ci int) string {
 		if labels[ci] != "" {
 			return labels[ci]
@@ -191,7 +200,7 @@ func speedupCurves(h *Harness, m *mic.Machine, configs []mic.Config, labels []st
 	base := make([]float64, numGraphs)
 	for gi := 0; gi < numGraphs; gi++ {
 		if aborted() {
-			return nil, errs
+			return nil, errs, cells
 		}
 		best := math.NaN()
 		for ci := range configs {
@@ -224,7 +233,7 @@ func speedupCurves(h *Harness, m *mic.Machine, configs []mic.Config, labels []st
 					}
 				}
 				series[ci].Values = vals
-				return series, errs
+				return series, errs, cells
 			}
 			per := make([]float64, 0, numGraphs)
 			for gi := 0; gi < numGraphs; gi++ {
@@ -232,13 +241,24 @@ func speedupCurves(h *Harness, m *mic.Machine, configs []mic.Config, labels []st
 					continue // no baseline; already annotated above
 				}
 				gi, ci, t := gi, ci, t
+				var stPtr *mic.SimStats
+				if tele {
+					stPtr = new(mic.SimStats)
+				}
 				tt, attempts, err := h.cell(func() float64 {
-					return mic.Simulate(m, configs[ci], t, traceFor(gi, ci, t))
+					if stPtr != nil {
+						*stPtr = mic.SimStats{} // retries must not accumulate
+					}
+					return mic.SimulateObserved(m, configs[ci], t, traceFor(gi, ci, t), nil, stPtr)
 				})
 				if err != nil {
 					errs = append(errs, CellError{Series: label(ci), Graph: gi,
 						Threads: t, Attempts: attempts, Err: err})
 					continue
+				}
+				if tele {
+					cells = append(cells, CellTelemetry{Series: label(ci), Graph: gi,
+						Threads: t, Attempts: attempts, SimTime: tt, Stats: *stPtr})
 				}
 				per = append(per, base[gi]/tt)
 			}
@@ -246,5 +266,5 @@ func speedupCurves(h *Harness, m *mic.Machine, configs []mic.Config, labels []st
 		}
 		series[ci] = Series{Label: label(ci), Threads: threads, Values: vals}
 	}
-	return series, errs
+	return series, errs, cells
 }

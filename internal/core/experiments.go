@@ -81,12 +81,13 @@ func coloringExperiment(s *Suite, m *mic.Machine, id, title string,
 		cache[key] = tr
 		return tr
 	}
-	series, errs := speedupCurves(s.Harness, m, configs, labels, len(graphs), threads, traceFor)
+	series, errs, cells := speedupCurves(s.Harness, m, configs, labels, len(graphs), threads, traceFor)
 	return &Experiment{
 		ID:     id,
 		Title:  title,
 		Series: series,
 		Errors: stamp(id, errs),
+		Cells:  stampCells(id, cells),
 	}
 }
 
@@ -156,12 +157,13 @@ func irregularExperiment(s *Suite, m *mic.Machine, id, title string, cfg mic.Con
 		for gi, g := range s.Graphs {
 			traces[gi] = mic.IrregularTrace(m, g, mic.NaturalOrder, iter)
 		}
-		series, errs := speedupCurves(s.Harness, m, []mic.Config{cfg},
+		series, errs, cells := speedupCurves(s.Harness, m, []mic.Config{cfg},
 			[]string{fmt.Sprintf("%d iteration(s)", iter)},
 			len(s.Graphs), threads,
 			func(gi, _, _ int) *mic.Trace { return traces[gi] })
 		exp.Series = append(exp.Series, series...)
 		exp.Errors = append(exp.Errors, stamp(id, errs)...)
+		exp.Cells = append(exp.Cells, stampCells(id, cells)...)
 	}
 	return exp
 }
@@ -228,10 +230,11 @@ func bfsExperiment(s *Suite, m *mic.Machine, id, title string,
 		configs[i] = cfg
 		labels[i] = spec.label
 	}
-	series, errs := speedupCurves(s.Harness, m, configs, labels, len(graphIdx), threads,
+	series, errs, cells := speedupCurves(s.Harness, m, configs, labels, len(graphIdx), threads,
 		func(gi, ci, _ int) *mic.Trace { return traces[[2]int{graphIdx[gi], ci}] })
 	exp.Series = series
 	exp.Errors = append(exp.Errors, stamp(id, errs)...)
+	exp.Cells = append(exp.Cells, stampCells(id, cells)...)
 
 	// Analytical model (§III-C), geometric mean across the same graphs.
 	model := make([]float64, len(threads))

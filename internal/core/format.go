@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -52,6 +53,47 @@ func WriteText(w io.Writer, e *Experiment) error {
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// jsonExperiment is the JSON shape of one experiment: series and table rows
+// as-is, errors flattened to their formatted strings (error values don't
+// marshal), and the per-cell telemetry records next to them.
+type jsonExperiment struct {
+	ID     string          `json:"id"`
+	Title  string          `json:"title"`
+	Series []jsonSeries    `json:"series,omitempty"`
+	Rows   []TableRow      `json:"rows,omitempty"`
+	Notes  string          `json:"notes,omitempty"`
+	Errors []string        `json:"errors,omitempty"`
+	Cells  []CellTelemetry `json:"cells,omitempty"`
+}
+
+type jsonSeries struct {
+	Label   string    `json:"label"`
+	Threads []int     `json:"threads"`
+	Values  []float64 `json:"values"`
+}
+
+// WriteJSON renders experiments as one indented JSON array. Cell failures
+// appear as formatted strings under "errors" (the same text the !! lines
+// carry), and harness telemetry — when enabled — as "cells" alongside them.
+func WriteJSON(w io.Writer, exps []*Experiment) error {
+	out := make([]jsonExperiment, 0, len(exps))
+	for _, e := range exps {
+		je := jsonExperiment{
+			ID: e.ID, Title: e.Title, Rows: e.Rows, Notes: e.Notes, Cells: e.Cells,
+		}
+		for _, s := range e.Series {
+			je.Series = append(je.Series, jsonSeries{Label: s.Label, Threads: s.Threads, Values: s.Values})
+		}
+		for _, ce := range e.Errors {
+			je.Errors = append(je.Errors, ce.Error())
+		}
+		out = append(out, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // WriteCSV renders an experiment as CSV (threads plus one column per

@@ -7,6 +7,7 @@ import (
 
 	"micgraph/internal/fault"
 	"micgraph/internal/mic"
+	"micgraph/internal/telemetry"
 )
 
 // Harness controls the resilience of experiment sweeps: an optional
@@ -23,7 +24,21 @@ import (
 type Harness struct {
 	Ctx     context.Context
 	Retries int
+
+	// Telemetry makes every sweep run with per-cell observation: each
+	// successful (graph, config, threads) cell contributes a CellTelemetry
+	// record (simulated time + mic.SimStats) to its Experiment. Off by
+	// default; the uninstrumented sweep path is unchanged.
+	Telemetry bool
+
+	// Counters, when set, receives harness-level events: currently each
+	// cell retry increments telemetry.Retries on worker 0. Nil disables.
+	Counters *telemetry.Counters
 }
+
+// telemetryOn reports whether per-cell telemetry collection is enabled.
+// Nil-safe.
+func (h *Harness) telemetryOn() bool { return h != nil && h.Telemetry }
 
 // context returns the harness context (Background when unset).
 func (h *Harness) context() context.Context {
@@ -63,6 +78,9 @@ func (h *Harness) cell(fn func() float64) (float64, int, error) {
 		}
 		if attempts > h.retries() || !fault.IsTransient(err) {
 			return math.NaN(), attempts, err
+		}
+		if h != nil {
+			h.Counters.Inc(0, telemetry.Retries)
 		}
 	}
 }
@@ -117,6 +135,28 @@ func stamp(id string, errs []CellError) []CellError {
 		errs[i].Experiment = id
 	}
 	return errs
+}
+
+// CellTelemetry is the per-cell observation of one successful sweep point:
+// which cell it was, how many attempts it took, the simulated time, and the
+// simulator's aggregate stats (chunks, steals, stall cycles, bound hits).
+// Collected only when the harness runs with Telemetry enabled.
+type CellTelemetry struct {
+	Experiment string       `json:"experiment,omitempty"`
+	Series     string       `json:"series"`
+	Graph      int          `json:"graph"`
+	Threads    int          `json:"threads"`
+	Attempts   int          `json:"attempts,omitempty"`
+	SimTime    float64      `json:"sim_time"`
+	Stats      mic.SimStats `json:"stats"`
+}
+
+// stampCells sets the experiment ID on a batch of telemetry records.
+func stampCells(id string, cells []CellTelemetry) []CellTelemetry {
+	for i := range cells {
+		cells[i].Experiment = id
+	}
+	return cells
 }
 
 // AllIDs lists every experiment ID ByID accepts, in report order.

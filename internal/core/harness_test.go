@@ -38,7 +38,7 @@ func TestSpeedupCurvesPoisonedCell(t *testing.T) {
 		}
 		return testTrace(500 * (gi + 1))
 	}
-	series, errs := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
+	series, errs, _ := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
 		3, threads, traceFor)
 
 	if len(series) != len(testConfigs) {
@@ -64,7 +64,7 @@ func TestSpeedupCurvesPoisonedCell(t *testing.T) {
 	}
 
 	// Determinism: a second identical sweep yields identical curves.
-	series2, _ := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
+	series2, _, _ := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
 		3, threads, traceFor)
 	for ci := range series {
 		for i := range series[ci].Values {
@@ -86,7 +86,7 @@ func TestSpeedupCurvesPoisonedBaseline(t *testing.T) {
 		}
 		return testTrace(400)
 	}
-	series, errs := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
+	series, errs, _ := speedupCurves(nil, mic.KNF(), testConfigs, []string{"", ""},
 		3, threads, traceFor)
 	for _, s := range series {
 		for i, v := range s.Values {
@@ -161,7 +161,7 @@ func TestSpeedupCurvesCancelledMidSweep(t *testing.T) {
 		}
 		return testTrace(300)
 	}
-	series, errs := speedupCurves(h, mic.KNF(), testConfigs, []string{"", ""},
+	series, errs, _ := speedupCurves(h, mic.KNF(), testConfigs, []string{"", ""},
 		2, threads, traceFor)
 	if len(series) != len(testConfigs) {
 		t.Fatalf("%d series, want %d even on abort", len(series), len(testConfigs))

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// Profiling bundles the profiling options shared by every CLI: CPU and heap
+// profiles written on exit, and an optional live net/http/pprof endpoint.
+// Register the flags on the command's FlagSet, then bracket main's work with
+// Start and the stop function it returns:
+//
+//	var prof core.Profiling
+//	prof.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	if err != nil { ... }
+//	defer stop()
+//
+// With no flags set, Start is a no-op returning a no-op stop.
+type Profiling struct {
+	CPUProfile string // -cpuprofile: pprof CPU profile path
+	MemProfile string // -memprofile: pprof heap profile path, written at stop
+	PprofAddr  string // -pprof: listen address for net/http/pprof
+}
+
+// RegisterFlags registers -cpuprofile, -memprofile and -pprof on fs.
+func (p *Profiling) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a pprof heap profile to `file` on exit")
+	fs.StringVar(&p.PprofAddr, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+}
+
+// Start begins CPU profiling and the pprof HTTP server as configured. The
+// returned stop function finishes the CPU profile and writes the heap
+// profile; call it before exiting (also on error exits — os.Exit skips
+// defers). stop is idempotent and never nil.
+func (p *Profiling) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return func() error { return nil }, err
+		}
+		if err := rpprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() error { return nil }, err
+		}
+	}
+	if p.PprofAddr != "" {
+		ln, err := net.Listen("tcp", p.PprofAddr)
+		if err != nil {
+			if cpuFile != nil {
+				rpprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return func() error { return nil }, err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, mux) //nolint:errcheck // diagnostic server, dies with the process
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpuFile != nil {
+			rpprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if p.MemProfile != "" {
+			f, err := os.Create(p.MemProfile)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := rpprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

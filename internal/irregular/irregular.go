@@ -16,10 +16,34 @@ package irregular
 import (
 	"context"
 	"math"
+	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
+
+// kernelStart returns the wall-clock start for telemetry, or the zero time
+// when no Recorder is active (the uninstrumented default path).
+func kernelStart(rec telemetry.Recorder) time.Time {
+	if telemetry.Active(rec) {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// recordKernel emits the single PhaseSample of one kernel application:
+// every vertex updated once, every arc read iter times.
+func recordKernel(rec telemetry.Recorder, g *graph.Graph, iter int, start time.Time) {
+	if !telemetry.Active(rec) {
+		return
+	}
+	rec.Record(telemetry.PhaseSample{
+		Kernel: "irregular", Phase: "update",
+		Items: int64(g.NumVertices()), Edges: g.NumArcs() * int64(iter),
+		Duration: time.Since(start),
+	})
+}
 
 // InitialState returns the canonical deterministic starting state used by
 // the benchmarks: state[v] = 1 + (v mod 97) / 97.
@@ -71,11 +95,14 @@ func Team(g *graph.Graph, in []float64, iter int, team *sched.Team, opts sched.F
 // on failure the partially written output is returned alongside the error.
 func TeamCtx(ctx context.Context, g *graph.Graph, in []float64, iter int, team *sched.Team, opts sched.ForOptions) ([]float64, error) {
 	out := make([]float64, len(in))
+	rec := telemetry.FromContext(ctx)
+	start := kernelStart(rec)
 	err := team.ForCtx(ctx, g.NumVertices(), opts, func(lo, hi, w int) {
 		for v := lo; v < hi; v++ {
 			out[v] = updateOne(g, in, int32(v), iter)
 		}
 	})
+	recordKernel(rec, g, iter, start)
 	return out, err
 }
 
@@ -92,11 +119,14 @@ func Cilk(g *graph.Graph, in []float64, iter int, pool *sched.Pool, grain int) [
 // CilkCtx is Cilk with cooperative cancellation at task-split boundaries.
 func CilkCtx(ctx context.Context, g *graph.Graph, in []float64, iter int, pool *sched.Pool, grain int) ([]float64, error) {
 	out := make([]float64, len(in))
+	rec := telemetry.FromContext(ctx)
+	start := kernelStart(rec)
 	err := pool.ParallelForCtx(ctx, g.NumVertices(), grain, func(lo, hi int, c *sched.Ctx) {
 		for v := lo; v < hi; v++ {
 			out[v] = updateOne(g, in, int32(v), iter)
 		}
 	})
+	recordKernel(rec, g, iter, start)
 	return out, err
 }
 
@@ -114,12 +144,15 @@ func TBB(g *graph.Graph, in []float64, iter int, pool *sched.Pool, part sched.Pa
 func TBBCtx(ctx context.Context, g *graph.Graph, in []float64, iter int, pool *sched.Pool, part sched.Partitioner, grain int) ([]float64, error) {
 	out := make([]float64, len(in))
 	var aff sched.AffinityState
+	rec := telemetry.FromContext(ctx)
+	start := kernelStart(rec)
 	err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: g.NumVertices(), Grain: grain}, part, &aff,
 		func(lo, hi int, c *sched.Ctx) {
 			for v := lo; v < hi; v++ {
 				out[v] = updateOne(g, in, int32(v), iter)
 			}
 		})
+	recordKernel(rec, g, iter, start)
 	return out, err
 }
 

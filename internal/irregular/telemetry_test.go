@@ -1,0 +1,50 @@
+package irregular
+
+import (
+	"context"
+	"testing"
+
+	"micgraph/internal/gen"
+	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
+)
+
+func TestIrregularRecordsUpdate(t *testing.T) {
+	g := gen.Grid2D(25, 25)
+	in := InitialState(g.NumVertices())
+	rec := telemetry.NewMemRecorder()
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+
+	team := sched.NewTeam(4)
+	defer team.Close()
+	if _, err := TeamCtx(ctx, g, in, 3, team, sched.ForOptions{Policy: sched.Dynamic, Chunk: 16}); err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	if _, err := CilkCtx(ctx, g, in, 3, pool, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TBBCtx(ctx, g, in, 3, pool, sched.SimplePartitioner, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	samples := rec.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("%d samples, want 3 (one per kernel invocation)", len(samples))
+	}
+	for i, s := range samples {
+		if s.Kernel != "irregular" || s.Phase != "update" {
+			t.Errorf("sample %d labelled %s/%s", i, s.Kernel, s.Phase)
+		}
+		if s.Items != int64(g.NumVertices()) {
+			t.Errorf("sample %d items = %d, want %d", i, s.Items, g.NumVertices())
+		}
+		if s.Edges != g.NumArcs()*3 {
+			t.Errorf("sample %d edges = %d, want %d", i, s.Edges, g.NumArcs()*3)
+		}
+		if s.Duration <= 0 {
+			t.Errorf("sample %d has non-positive duration", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 // RuntimeKind selects which runtime engine's scheduling behaviour and
@@ -60,23 +61,64 @@ type chunk struct {
 	owner  int // thread expected to run it; mismatch models a steal
 }
 
+// SimStats aggregates what the simulator observed over one run: how the
+// phases were chunked, how often chunks executed away from their owner
+// thread, how much memory-stall time the machine served, and which
+// machine-wide bounds (bandwidth ceiling, chunk-counter serialisation)
+// actually decided a phase's length.
+type SimStats struct {
+	Phases            int     `json:"phases"`
+	Chunks            int     `json:"chunks"`
+	Steals            int     `json:"steals,omitempty"`
+	StallCycles       float64 `json:"stall_cycles"`
+	BWThrottledPhases int     `json:"bw_throttled_phases,omitempty"`
+	SerializedPhases  int     `json:"serialized_phases,omitempty"`
+	BarrierCycles     float64 `json:"barrier_cycles,omitempty"`
+	StraggledChunks   int     `json:"straggled_chunks,omitempty"`
+}
+
 // Simulate plays tr on machine m with t threads under cfg and returns the
 // simulated execution time in cycles. Deterministic.
 func Simulate(m *Machine, cfg Config, t int, tr *Trace) float64 {
+	return SimulateObserved(m, cfg, t, tr, nil, nil)
+}
+
+// SimulateObserved is Simulate with observability: per-chunk execution
+// intervals (and machine-wide bandwidth/serialisation/barrier effects) are
+// emitted onto tl, and aggregate counts accumulate into st. Either sink may
+// be nil to disable it; with both nil the cost model is byte-for-byte
+// Simulate. Output on tl is deterministic: a fixed (machine, config,
+// threads, trace) tuple always yields the same event sequence.
+func SimulateObserved(m *Machine, cfg Config, t int, tr *Trace, tl *telemetry.Timeline, st *SimStats) float64 {
 	if t < 1 {
 		panic(fmt.Sprintf("mic: Simulate with %d threads", t))
 	}
 	var total float64
 	for i := range tr.Phases {
-		total += simulatePhase(m, cfg, t, &tr.Phases[i])
+		total += simulatePhase(m, cfg, t, &tr.Phases[i], total, tl, st)
 	}
 	return total
+}
+
+// chunkCost is the cost model's verdict on one chunk, with the detail the
+// timeline wants to show.
+type chunkCost struct {
+	total     float64
+	issue     float64 // issue cycles incl. per-chunk overhead and steal penalty
+	stall     float64 // effective memory-stall cycles after SMT sharing
+	stolen    bool    // work-stealing runtime ran it away from its owner
+	straggler float64 // straggler slowdown fraction of the hosting core
 }
 
 // simulatePhase runs one parallel loop: partition items into chunks per the
 // policy, assign chunks to threads (statically or greedily), apply the SMT
 // core-sharing cost model, cap by memory bandwidth, add the barrier.
-func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
+// start is the simulation time at phase entry (for timeline timestamps);
+// tl and st are optional observation sinks (see SimulateObserved).
+func simulatePhase(m *Machine, cfg Config, t int, p *Phase, start float64, tl *telemetry.Timeline, st *SimStats) float64 {
+	if st != nil {
+		st.Phases++
+	}
 	n := len(p.Items)
 	if n == 0 {
 		return p.Seq
@@ -109,12 +151,14 @@ func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
 	clocks := make([]float64, t)
 	var stallServed float64
 
-	cost := func(c chunk, thread int) float64 {
+	cost := func(c chunk, thread int) chunkCost {
 		w := sum(c.lo, c.hi)
 		k := m.Coresidency(t, thread)
 		issue := w.Issue + plan.perChunkIssue
+		stolen := false
 		if thread != c.owner {
 			issue += stealPenalty(m, cfg)
+			stolen = cfg.Kind != OpenMP // FCFS reshuffles aren't thefts
 		}
 		sEff := w.Stall / (1 + m.CacheShareBonus*float64(k-1))
 		stallServed += sEff
@@ -135,10 +179,31 @@ func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
 		}
 		// Injected straggler cores (fault experiments) slow every thread
 		// they host, regardless of occupancy.
-		if sd := m.coreSlowdown(thread % m.Cores); sd > 0 {
+		sd := m.coreSlowdown(thread % m.Cores)
+		if sd > 0 {
 			total *= 1 + sd
 		}
-		return total
+		return chunkCost{total: total, issue: issue, stall: sEff, stolen: stolen, straggler: sd}
+	}
+	observe := func(c chunk, thread int, at float64, cc chunkCost) {
+		if st != nil {
+			if cc.stolen {
+				st.Steals++
+			}
+			if cc.straggler > 0 {
+				st.StraggledChunks++
+			}
+		}
+		if tl != nil {
+			tl.Emit(telemetry.Event{
+				Name: p.Name, Cat: "chunk",
+				Start: start + at, Dur: cc.total,
+				Core: thread % m.Cores, Thread: thread,
+				Lo: c.lo, Hi: c.hi,
+				Stolen: cc.stolen, Straggler: cc.straggler,
+				Issue: cc.issue, Stall: cc.stall,
+			})
+		}
 	}
 
 	if plan.greedy {
@@ -147,7 +212,9 @@ func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
 		h := newClockHeap(t)
 		for _, c := range plan.chunks {
 			e := heap.Pop(h).(clockEntry)
-			e.clock += cost(c, e.thread)
+			cc := cost(c, e.thread)
+			observe(c, e.thread, e.clock, cc)
+			e.clock += cc.total
 			heap.Push(h, e)
 		}
 		for h.Len() > 0 {
@@ -156,7 +223,9 @@ func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
 		}
 	} else {
 		for _, c := range plan.chunks {
-			clocks[c.owner] += cost(c, c.owner)
+			cc := cost(c, c.owner)
+			observe(c, c.owner, clocks[c.owner], cc)
+			clocks[c.owner] += cc.total
 		}
 	}
 
@@ -166,10 +235,24 @@ func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
 			phaseTime = c
 		}
 	}
+	if st != nil {
+		st.Chunks += len(plan.chunks)
+		st.StallCycles += stallServed
+	}
 	// Aggregate bandwidth ceiling: the memory system can retire at most
 	// MemBandwidth stall-cycles per cycle machine-wide.
 	if m.MemBandwidth > 0 {
 		if bw := stallServed / m.MemBandwidth; bw > phaseTime {
+			if tl != nil {
+				tl.Emit(telemetry.Event{
+					Name: p.Name + " bandwidth ceiling", Cat: "bandwidth",
+					Start: start + phaseTime, Dur: bw - phaseTime,
+					Core: telemetry.MachineLane,
+				})
+			}
+			if st != nil {
+				st.BWThrottledPhases++
+			}
 			phaseTime = bw
 		}
 	}
@@ -178,11 +261,32 @@ func simulatePhase(m *Machine, cfg Config, t int, p *Phase) float64 {
 	// latency grows with the number of contending threads on the ring.
 	if cfg.Kind == OpenMP && cfg.Policy != sched.Static && t > 1 {
 		if ser := float64(len(plan.chunks)) * (m.AtomicCost + m.AtomicContPerT*float64(t)); ser > phaseTime {
+			if tl != nil {
+				tl.Emit(telemetry.Event{
+					Name: p.Name + " chunk-counter serialisation", Cat: "serialize",
+					Start: start + phaseTime, Dur: ser - phaseTime,
+					Core: telemetry.MachineLane,
+				})
+			}
+			if st != nil {
+				st.SerializedPhases++
+			}
 			phaseTime = ser
 		}
 	}
 	if t > 1 {
-		phaseTime += m.BarrierBase + m.BarrierPerThread*float64(t)
+		b := m.BarrierBase + m.BarrierPerThread*float64(t)
+		if tl != nil {
+			tl.Emit(telemetry.Event{
+				Name: "barrier", Cat: "barrier",
+				Start: start + phaseTime, Dur: b,
+				Core: telemetry.MachineLane,
+			})
+		}
+		if st != nil {
+			st.BarrierCycles += b
+		}
+		phaseTime += b
 	}
 	if cfg.Kind == OpenMP && m.OMPOversubPenalty > 0 && t >= m.MaxThreads()-1 {
 		phaseTime *= 1 + m.OMPOversubPenalty

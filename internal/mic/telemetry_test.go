@@ -1,0 +1,132 @@
+package mic
+
+import (
+	"bytes"
+	"testing"
+
+	"micgraph/internal/fault"
+	"micgraph/internal/gen"
+	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
+)
+
+// TestSimulateObservedMatchesSimulate: attaching telemetry sinks must not
+// change the simulated time at all — observation is passive.
+func TestSimulateObservedMatchesSimulate(t *testing.T) {
+	m := KNF()
+	g := gen.RingOfCliques(50, 8)
+	tr := ColoringTrace(m, g, NaturalOrder, 61)
+	for _, cfg := range []Config{
+		{Kind: OpenMP, Policy: sched.Dynamic, Chunk: 100},
+		{Kind: OpenMP, Policy: sched.Static, Chunk: 100},
+		{Kind: Cilk, Chunk: 64},
+		{Kind: TBB, Partitioner: sched.SimplePartitioner, Chunk: 100},
+	} {
+		plain := Simulate(m, cfg, 61, tr)
+		tl := telemetry.NewTimeline(0)
+		var st SimStats
+		observed := SimulateObserved(m, cfg, 61, tr, tl, &st)
+		if plain != observed {
+			t.Errorf("%v: observed run diverged: %v vs %v", cfg, observed, plain)
+		}
+		if tl.Len() == 0 {
+			t.Errorf("%v: no timeline events emitted", cfg)
+		}
+		if st.Phases != len(tr.Phases) {
+			t.Errorf("%v: stats phases = %d, want %d", cfg, st.Phases, len(tr.Phases))
+		}
+		chunkEvents := 0
+		for _, e := range tl.Events() {
+			if e.Cat == "chunk" {
+				chunkEvents++
+			}
+		}
+		if chunkEvents != st.Chunks {
+			t.Errorf("%v: %d chunk events vs %d counted chunks", cfg, chunkEvents, st.Chunks)
+		}
+	}
+}
+
+func exportTrace(t *testing.T, m *Machine, cfg Config, threads int, tr *Trace) ([]byte, SimStats) {
+	t.Helper()
+	tl := telemetry.NewTimeline(0)
+	var st SimStats
+	SimulateObserved(m, cfg, threads, tr, tl, &st)
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), st
+}
+
+// TestTraceExportDeterministic: for a fixed machine, config and trace the
+// exported Chrome trace JSON must be byte-identical across runs — including
+// on a fault-injected machine with straggling cores.
+func TestTraceExportDeterministic(t *testing.T) {
+	g := gen.RingOfCliques(50, 8)
+	base := KNF()
+
+	straggled := KNF().WithStragglers(fault.New(7).
+		Enable("mic/straggler", 0.5).
+		SetParam("mic/straggler", 0.5))
+
+	for _, tc := range []struct {
+		name string
+		m    *Machine
+	}{
+		{"clean", base},
+		{"stragglers", straggled},
+	} {
+		tr := ColoringTrace(tc.m, g, NaturalOrder, 61)
+		cfg := Config{Kind: OpenMP, Policy: sched.Dynamic, Chunk: 100}
+		a, stA := exportTrace(t, tc.m, cfg, 61, tr)
+		b, stB := exportTrace(t, tc.m, cfg, 61, tr)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: trace export not byte-identical across runs", tc.name)
+		}
+		if stA != stB {
+			t.Errorf("%s: stats diverged: %+v vs %+v", tc.name, stA, stB)
+		}
+	}
+}
+
+// TestStragglerChunksObserved: a machine with injected stragglers must
+// surface them in both the stats and the per-chunk events.
+func TestStragglerChunksObserved(t *testing.T) {
+	g := gen.RingOfCliques(50, 8)
+	m := KNF().WithStragglers(fault.New(7).
+		Enable("mic/straggler", 0.5).
+		SetParam("mic/straggler", 0.5))
+	tr := ColoringTrace(m, g, NaturalOrder, 61)
+	tl := telemetry.NewTimeline(0)
+	var st SimStats
+	SimulateObserved(m, Config{Kind: OpenMP, Policy: sched.Dynamic, Chunk: 100}, 61, tr, tl, &st)
+	if st.StraggledChunks == 0 {
+		t.Fatal("no straggled chunks recorded on a machine with straggling cores")
+	}
+	marked := 0
+	for _, e := range tl.Events() {
+		if e.Straggler > 0 {
+			marked++
+		}
+	}
+	if marked != st.StraggledChunks {
+		t.Errorf("%d straggler-marked events vs %d counted", marked, st.StraggledChunks)
+	}
+}
+
+// TestSimStatsBarrier: multi-phase traces on multiple threads accumulate
+// barrier time.
+func TestSimStatsBarrier(t *testing.T) {
+	m := KNF()
+	g := gen.RingOfCliques(50, 8)
+	tr := ColoringTrace(m, g, NaturalOrder, 61)
+	var st SimStats
+	SimulateObserved(m, Config{Kind: OpenMP, Policy: sched.Dynamic, Chunk: 100}, 61, tr, nil, &st)
+	if st.BarrierCycles <= 0 {
+		t.Errorf("barrier cycles = %v, want > 0 for %d phases at t=61", st.BarrierCycles, st.Phases)
+	}
+	if st.Chunks <= 0 || st.StallCycles <= 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"micgraph/internal/telemetry"
 	"micgraph/internal/xrand"
 )
 
@@ -34,14 +35,15 @@ import (
 // a task finishing and its continuation being enqueued, silently shrinking
 // the worker set. Workers now only exit when no run is in flight.
 type Pool struct {
-	workers []*worker
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queued  atomic.Int64
-	active  atomic.Int64 // in-flight Run/RunE/RunCtx calls
-	closed  atomic.Bool
-	wg      sync.WaitGroup
-	inject  InjectFunc // optional fault hook, fired per task execution
+	workers  []*worker
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queued   atomic.Int64
+	active   atomic.Int64 // in-flight Run/RunE/RunCtx calls
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	inject   InjectFunc          // optional fault hook, fired per task execution
+	counters *telemetry.Counters // optional scheduler counters (nil = off)
 }
 
 // worker is one scheduler thread of the pool.
@@ -126,6 +128,16 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // while a run is in flight.
 func (p *Pool) SetInject(f InjectFunc) { p.inject = f }
 
+// SetCounters attaches scheduler counters (tasks spawned, steals and steal
+// failures, range splits, chunks claimed, panics contained). Pass nil to
+// disable — the default, which keeps the scheduling paths at a single nil
+// check per event. Must not be called while a run is in flight; the
+// counters must have been created for at least Workers() workers.
+func (p *Pool) SetCounters(c *telemetry.Counters) { p.counters = c }
+
+// Counters returns the attached counters (nil when telemetry is off).
+func (p *Pool) Counters() *telemetry.Counters { return p.counters }
+
 // Close shuts the pool down: new runs are refused immediately, in-flight
 // runs drain to completion, then the workers exit. Close blocks until they
 // have. Closing an already-closed pool is a no-op.
@@ -206,6 +218,7 @@ func runTask(w *worker, parent *scope, fn func(*Ctx)) {
 		defer func() {
 			if r := recover(); r != nil {
 				parent.err.record(w.id, r, debug.Stack())
+				w.pool.counters.Inc(w.id, telemetry.PanicsContained)
 			}
 		}()
 		if w.pool.inject != nil {
@@ -246,6 +259,7 @@ func (c *Ctx) Sync() {
 
 // submit enqueues t on w's deque and wakes a sleeping worker.
 func (p *Pool) submit(w *worker, t task) {
+	p.counters.Inc(w.id, telemetry.TasksSpawned)
 	w.dq.pushBottom(t)
 	p.queued.Add(1)
 	p.mu.Lock()
@@ -308,10 +322,12 @@ func (w *worker) tryRunOne() bool {
 		}
 		if t, ok := v.dq.stealTop(); ok {
 			p.queued.Add(-1)
+			p.counters.Inc(w.id, telemetry.Steals)
 			w.runWith(t, true)
 			return true
 		}
 	}
+	p.counters.Inc(w.id, telemetry.StealFails)
 	return false
 }
 
@@ -353,10 +369,12 @@ func (c *Ctx) For(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 }
 
 func (c *Ctx) forSplit(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
+	counters := c.w.pool.counters
 	for hi-lo > grain {
 		if c.Cancelled() {
 			return
 		}
+		counters.Inc(c.w.id, telemetry.RangeSplits)
 		mid := lo + (hi-lo)/2
 		lo2, hi2 := lo, mid
 		c.Spawn(func(cc *Ctx) {
@@ -367,6 +385,7 @@ func (c *Ctx) forSplit(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 	if c.Cancelled() {
 		return
 	}
+	counters.Inc(c.w.id, telemetry.ChunksClaimed)
 	body(lo, hi, c)
 }
 

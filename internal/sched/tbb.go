@@ -3,6 +3,8 @@ package sched
 import (
 	"context"
 	"fmt"
+
+	"micgraph/internal/telemetry"
 )
 
 // TBB-style blocked ranges and partitioners, executed on the work-stealing
@@ -109,10 +111,12 @@ func ParallelForRangeCtx(ctx context.Context, pool *Pool, r Range, part Partitio
 // Cancellation is polled at each split so a cancelled run stops subdividing
 // and skips unexecuted subranges.
 func simpleSplit(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
+	counters := c.w.pool.counters
 	for r.IsDivisible() {
 		if c.Cancelled() {
 			return
 		}
+		counters.Inc(c.w.id, telemetry.RangeSplits)
 		left, right := r.Split()
 		c.Spawn(func(cc *Ctx) { simpleSplit(cc, left, body) })
 		r = right
@@ -120,6 +124,7 @@ func simpleSplit(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 	if c.Cancelled() {
 		return
 	}
+	counters.Inc(c.w.id, telemetry.ChunksClaimed)
 	body(r.Lo, r.Hi, c)
 	// implicit sync at task exit joins the spawned halves
 }
@@ -144,10 +149,12 @@ func autoRoot(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 // is still divisible, it splits once and continues with the left half,
 // giving the next thief something big to take.
 func autoRun(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
+	counters := c.w.pool.counters
 	for c.Stolen() && r.IsDivisible() {
 		if c.Cancelled() {
 			return
 		}
+		counters.Inc(c.w.id, telemetry.RangeSplits)
 		left, right := r.Split()
 		rr := right
 		c.Spawn(func(cc *Ctx) { autoRun(cc, rr, body) })
@@ -156,6 +163,7 @@ func autoRun(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 	if c.Cancelled() {
 		return
 	}
+	counters.Inc(c.w.id, telemetry.ChunksClaimed)
 	body(r.Lo, r.Hi, c)
 }
 
@@ -204,6 +212,7 @@ func affinityRun(ctx context.Context, pool *Pool, r Range, aff *AffinityState, b
 					return
 				}
 				aff.homes[i] = cc.Worker() // theft moves the home
+				cc.w.pool.counters.Inc(cc.w.id, telemetry.ChunksClaimed)
 				body(blk.Lo, blk.Hi, cc)
 			})
 		}

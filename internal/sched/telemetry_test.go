@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"micgraph/internal/telemetry"
+)
+
+// TestTeamCountersChunks: every chunk a Team loop hands to a body must show
+// up in ChunksClaimed, and the per-policy chunk counts must match what the
+// body observed.
+func TestTeamCountersChunks(t *testing.T) {
+	for _, policy := range []Policy{Static, Dynamic, Guided} {
+		team := NewTeam(4)
+		counters := telemetry.NewCounters(4)
+		team.SetCounters(counters)
+		var calls atomic.Int64
+		team.For(1000, ForOptions{Policy: policy, Chunk: 10}, func(lo, hi, w int) {
+			calls.Add(1)
+		})
+		team.Close()
+		if got := counters.Total(telemetry.ChunksClaimed); got != calls.Load() {
+			t.Errorf("policy %v: chunks_claimed = %d, body calls = %d", policy, got, calls.Load())
+		}
+		if calls.Load() == 0 {
+			t.Errorf("policy %v: loop body never ran", policy)
+		}
+	}
+}
+
+// TestTeamCountersPanics: contained body panics are counted.
+func TestTeamCountersPanics(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	counters := telemetry.NewCounters(2)
+	team.SetCounters(counters)
+	err := team.ForE(8, ForOptions{Policy: Static, Chunk: 4}, func(lo, hi, w int) {
+		panic("boom")
+	})
+	if err == nil {
+		t.Fatal("panicking loop returned nil error")
+	}
+	if got := counters.Total(telemetry.PanicsContained); got == 0 {
+		t.Error("panics_contained = 0 after contained panic")
+	}
+}
+
+// TestPoolCountersSpawn: explicit Spawn calls are counted as tasks, and the
+// recursive For splits show up as range splits + leaf chunks.
+func TestPoolCountersSpawn(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	counters := telemetry.NewCounters(4)
+	pool.SetCounters(counters)
+
+	const spawned = 64
+	var ran atomic.Int64
+	pool.Run(func(c *Ctx) {
+		for i := 0; i < spawned; i++ {
+			c.Spawn(func(*Ctx) { ran.Add(1) })
+		}
+		c.Sync()
+	})
+	if ran.Load() != spawned {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), spawned)
+	}
+	if got := counters.Total(telemetry.TasksSpawned); got < spawned {
+		t.Errorf("tasks_spawned = %d, want >= %d", got, spawned)
+	}
+	// Steals and failed steal tours are machine-timing dependent, but the
+	// counters must never go negative and steals can't exceed spawns.
+	steals := counters.Total(telemetry.Steals)
+	if steals < 0 || steals > counters.Total(telemetry.TasksSpawned) {
+		t.Errorf("implausible steals = %d", steals)
+	}
+}
+
+// TestPoolCountersFor: cilk_for leaf ranges are claimed chunks; interior
+// halvings are range splits; claimed chunks cover the iteration space.
+func TestPoolCountersFor(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	counters := telemetry.NewCounters(4)
+	pool.SetCounters(counters)
+
+	var items atomic.Int64
+	var leaves atomic.Int64
+	pool.ParallelFor(1000, 16, func(lo, hi int, c *Ctx) {
+		items.Add(int64(hi - lo))
+		leaves.Add(1)
+	})
+	if items.Load() != 1000 {
+		t.Fatalf("covered %d items, want 1000", items.Load())
+	}
+	if got := counters.Total(telemetry.ChunksClaimed); got != leaves.Load() {
+		t.Errorf("chunks_claimed = %d, leaf calls = %d", got, leaves.Load())
+	}
+	if got := counters.Total(telemetry.RangeSplits); got == 0 {
+		t.Error("range_splits = 0 for a 1000-item grain-16 cilk_for")
+	}
+}
+
+// TestTBBCountersSplits: the TBB partitioners count their subdivisions and
+// leaf chunk executions.
+func TestTBBCountersSplits(t *testing.T) {
+	for _, part := range []Partitioner{SimplePartitioner, AutoPartitioner, AffinityPartitioner} {
+		pool := NewPool(4)
+		counters := telemetry.NewCounters(4)
+		pool.SetCounters(counters)
+		var aff *AffinityState
+		if part == AffinityPartitioner {
+			aff = &AffinityState{}
+		}
+		var items atomic.Int64
+		var leaves atomic.Int64
+		ParallelForRange(pool, Range{Lo: 0, Hi: 1000, Grain: 16}, part, aff,
+			func(lo, hi int, c *Ctx) {
+				items.Add(int64(hi - lo))
+				leaves.Add(1)
+			})
+		pool.Close()
+		if items.Load() != 1000 {
+			t.Fatalf("partitioner %v covered %d items, want 1000", part, items.Load())
+		}
+		if got := counters.Total(telemetry.ChunksClaimed); got != leaves.Load() {
+			t.Errorf("partitioner %v: chunks_claimed = %d, leaves = %d", part, got, leaves.Load())
+		}
+		// The simple partitioner always subdivides to the grain; auto only
+		// splits under steal pressure and affinity pre-blocks the range, so
+		// only simple has a guaranteed split count.
+		if part == SimplePartitioner {
+			if got := counters.Total(telemetry.RangeSplits); got == 0 {
+				t.Errorf("partitioner %v: range_splits = 0", part)
+			}
+		}
+	}
+}
+
+// TestCountersOffNoPanic: an uninstrumented Team/Pool (nil counters) must
+// run exactly as before.
+func TestCountersOffNoPanic(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	var n atomic.Int64
+	team.For(100, ForOptions{Policy: Dynamic, Chunk: 7}, func(lo, hi, w int) {
+		n.Add(int64(hi - lo))
+	})
+	if n.Load() != 100 {
+		t.Errorf("covered %d, want 100", n.Load())
+	}
+
+	pool := NewPool(2)
+	defer pool.Close()
+	n.Store(0)
+	pool.ParallelFor(100, 8, func(lo, hi int, c *Ctx) { n.Add(int64(hi - lo)) })
+	if n.Load() != 100 {
+		t.Errorf("pool covered %d, want 100", n.Load())
+	}
+}

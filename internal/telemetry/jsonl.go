@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// WriteJSONL writes each record as one JSON object per line (JSON Lines).
+// Records are marshalled with encoding/json, so struct-typed records
+// produce deterministic field order.
+func WriteJSONL(w io.Writer, records ...any) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range records {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// JSONLFile is a convenience JSONL sink for the CLIs' -metrics-out flag:
+// records are appended line by line and flushed on Close.
+type JSONLFile struct {
+	f   *os.File
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// CreateJSONL creates (truncating) a JSONL metrics file.
+func CreateJSONL(path string) (*JSONLFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(f)
+	return &JSONLFile{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+// Write appends one record as a JSON line.
+func (j *JSONLFile) Write(record any) error { return j.enc.Encode(record) }
+
+// Close flushes and closes the file.
+func (j *JSONLFile) Close() error {
+	if err := j.bw.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

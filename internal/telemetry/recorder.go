@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// PhaseSample is one kernel phase measurement: a BFS level, a coloring
+// round, or an irregular-computation sweep. Field meaning per kernel:
+//
+//   - BFS level:     Items = frontier entries processed, Edges = adjacency
+//     entries scanned, Claims = vertices claimed into the next frontier;
+//   - coloring round: Items = visit-set size, Claims = conflicts detected
+//     (the next round's visit-set size);
+//   - irregular sweep: Items = vertices updated, Edges = neighbor reads.
+type PhaseSample struct {
+	Kernel   string        `json:"kernel"`
+	Phase    string        `json:"phase"`
+	Index    int           `json:"index"`
+	Items    int64         `json:"items"`
+	Edges    int64         `json:"edges,omitempty"`
+	Claims   int64         `json:"claims,omitempty"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Recorder receives kernel phase samples. Implementations must be safe for
+// concurrent use; the kernels call Record from the coordinating goroutine
+// (one call per phase), but one Recorder may be shared by concurrent runs.
+type Recorder interface {
+	Record(PhaseSample)
+}
+
+type nopRecorder struct{}
+
+func (nopRecorder) Record(PhaseSample) {}
+
+// Nop is the default Recorder: it discards samples, costs nothing, and
+// allocates nothing. Kernels compare against it to skip sample assembly
+// entirely (see Active).
+var Nop Recorder = nopRecorder{}
+
+// Active reports whether r actually records: false for nil and for Nop.
+// Kernels use it to skip timing and sample construction on the
+// uninstrumented path.
+func Active(r Recorder) bool { return r != nil && r != Nop }
+
+// recorderKey is the context key carrying the run's Recorder.
+type recorderKey struct{}
+
+// WithRecorder returns a context carrying r; kernels executed under it
+// record their phase metrics to r. A nil r is treated as Nop.
+func WithRecorder(ctx context.Context, r Recorder) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r == nil {
+		r = Nop
+	}
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// FromContext returns the Recorder carried by ctx, or Nop when ctx is nil
+// or carries none. The result is never nil.
+func FromContext(ctx context.Context) Recorder {
+	if ctx == nil {
+		return Nop
+	}
+	if r, ok := ctx.Value(recorderKey{}).(Recorder); ok {
+		return r
+	}
+	return Nop
+}
+
+// MemRecorder accumulates samples in memory; safe for concurrent use.
+type MemRecorder struct {
+	mu      sync.Mutex
+	samples []PhaseSample
+}
+
+// NewMemRecorder returns an empty in-memory recorder.
+func NewMemRecorder() *MemRecorder { return &MemRecorder{} }
+
+// Record appends the sample.
+func (m *MemRecorder) Record(s PhaseSample) {
+	m.mu.Lock()
+	m.samples = append(m.samples, s)
+	m.mu.Unlock()
+}
+
+// Samples returns a copy of the recorded samples in arrival order.
+func (m *MemRecorder) Samples() []PhaseSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PhaseSample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// Len returns the number of recorded samples.
+func (m *MemRecorder) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.samples)
+}
+
+// Reset discards all recorded samples.
+func (m *MemRecorder) Reset() {
+	m.mu.Lock()
+	m.samples = m.samples[:0]
+	m.mu.Unlock()
+}

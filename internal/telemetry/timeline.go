@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Event is one interval on the simulator timeline. Times are in abstract
+// simulator cycles (exported 1 cycle = 1 µs so trace viewers display them
+// sensibly). Core/Thread map to the Chrome trace pid/tid lanes; pseudo
+// events that describe machine-wide effects (bandwidth ceilings, barriers,
+// chunk-counter serialisation) use Core == MachineLane.
+type Event struct {
+	Name   string  // phase name ("level", "tentative", ...) or effect name
+	Cat    string  // "chunk", "bandwidth", "serialize", "barrier"
+	Start  float64 // cycles since simulation start
+	Dur    float64 // cycles
+	Core   int     // physical core (Chrome pid), or MachineLane
+	Thread int     // hardware thread (Chrome tid)
+
+	// Chunk-event details (zero for pseudo events).
+	Lo, Hi    int     // item range of the chunk
+	Stolen    bool    // executed away from its owner thread
+	Straggler float64 // straggler slowdown fraction applied to the chunk (0 = none)
+	Issue     float64 // issue cycles of the chunk (incl. per-chunk overhead)
+	Stall     float64 // effective memory-stall cycles after SMT sharing
+}
+
+// MachineLane is the pseudo core id used for machine-wide events.
+const MachineLane = -1
+
+// DefaultTimelineCap is the default ring capacity (events).
+const DefaultTimelineCap = 1 << 17
+
+// Timeline is a bounded ring buffer of simulator events. When the buffer is
+// full, the oldest events are overwritten and counted as dropped. A nil
+// *Timeline is a valid no-op sink. Safe for concurrent use.
+type Timeline struct {
+	mu      sync.Mutex
+	events  []Event
+	head    int // index of the oldest event when full
+	full    bool
+	dropped int64
+}
+
+// NewTimeline creates a timeline holding up to capacity events
+// (DefaultTimelineCap when capacity <= 0).
+func NewTimeline(capacity int) *Timeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCap
+	}
+	return &Timeline{events: make([]Event, 0, capacity)}
+}
+
+// Emit appends an event, overwriting the oldest once the ring is full.
+// No-op on a nil receiver.
+func (t *Timeline) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if cap(t.events) == 0 {
+		t.events = make([]Event, 0, DefaultTimelineCap) // zero-value Timeline
+	}
+	if !t.full && len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+	} else {
+		t.full = true
+		t.events[t.head] = e
+		t.head++
+		t.dropped++
+		if t.head == len(t.events) {
+			t.head = 0
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were evicted by ring overflow.
+func (t *Timeline) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the buffered events in emission order.
+func (t *Timeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
+}
+
+// Reset discards all events and the dropped count.
+func (t *Timeline) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.head, t.full, t.dropped = 0, false, 0
+	t.mu.Unlock()
+}
+
+// WriteChromeTrace writes the buffered events as Chrome trace-event JSON
+// ("X" complete events plus process/thread metadata), viewable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Simulator cycles are exported as
+// microseconds (1 cycle = 1 µs). The output is deterministic: the same
+// event sequence always produces byte-identical JSON.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	bw := bufio.NewWriter(w)
+
+	// Lane metadata: one "process" per core plus the machine lane, named and
+	// sorted so viewers group threads under their core.
+	type lane struct{ core, thread int }
+	coreSet := map[int]bool{}
+	laneSet := map[lane]bool{}
+	for _, e := range events {
+		coreSet[e.Core] = true
+		laneSet[lane{e.Core, e.Thread}] = true
+	}
+	cores := make([]int, 0, len(coreSet))
+	for c := range coreSet {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	lanes := make([]lane, 0, len(laneSet))
+	for l := range laneSet {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].core != lanes[j].core {
+			return lanes[i].core < lanes[j].core
+		}
+		return lanes[i].thread < lanes[j].thread
+	})
+
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	item := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	coreName := func(c int) string {
+		if c == MachineLane {
+			return "machine"
+		}
+		return fmt.Sprintf("core %d", c)
+	}
+	for _, c := range cores {
+		item(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pid(c), coreName(c))
+		item(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`, pid(c), pid(c))
+	}
+	for _, l := range lanes {
+		name := fmt.Sprintf("thread %d", l.thread)
+		if l.core == MachineLane {
+			name = "machine"
+		}
+		item(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, pid(l.core), l.thread, name)
+	}
+	for i := range events {
+		e := &events[i]
+		item(`{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{%s}}`,
+			e.Name, e.Cat, num(e.Start), num(e.Dur), pid(e.Core), e.Thread, args(e))
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// pid maps the machine lane to a viewer-friendly non-negative pid.
+func pid(core int) int {
+	if core == MachineLane {
+		return 1 << 20
+	}
+	return core
+}
+
+// num formats a float deterministically and compactly.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// args renders the event details as deterministic JSON object members.
+func args(e *Event) string {
+	s := fmt.Sprintf(`"lo":%d,"hi":%d`, e.Lo, e.Hi)
+	if e.Issue > 0 {
+		s += `,"issue":` + num(e.Issue)
+	}
+	if e.Stall > 0 {
+		s += `,"stall":` + num(e.Stall)
+	}
+	if e.Stolen {
+		s += `,"stolen":true`
+	}
+	if e.Straggler > 0 {
+		s += `,"straggler":` + num(e.Straggler)
+	}
+	return s
+}
