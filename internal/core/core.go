@@ -141,6 +141,18 @@ func (s *Suite) Shuffled() []*graph.Graph {
 	return s.shuffled
 }
 
+// WithHarness returns a shallow copy of the suite bound to h: it shares the
+// generated graphs (and the shuffled copies, when already materialised) with
+// the receiver but carries its own harness, so concurrent sweeps over one
+// cached suite can each run under their own deadline, retry budget and
+// telemetry sink without racing on the shared Harness field. The shared
+// graphs are read-only to every experiment.
+func (s *Suite) WithHarness(h *Harness) *Suite {
+	out := *s
+	out.Harness = h
+	return &out
+}
+
 // Find returns the suite graph with the given base name (e.g. "pwtk").
 func (s *Suite) Find(name string) (*graph.Graph, gen.MeshConfig, error) {
 	for i, cfg := range s.Configs {

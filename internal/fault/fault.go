@@ -239,6 +239,30 @@ func (fr *faultReader) Read(p []byte) (int, error) {
 	return fr.r.Read(p)
 }
 
+// Writer wraps w with the injection site name+"/err": a firing Write call
+// fails with a *Fault (a transient I/O error) before touching the
+// underlying writer, so byte-for-byte identical write sequences fail at
+// identical offsets. A nil injector returns w unchanged.
+func (in *Injector) Writer(name string, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &faultWriter{in: in, name: name, w: w}
+}
+
+type faultWriter struct {
+	in   *Injector
+	name string
+	w    io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if err := fw.in.FireErr(fw.name + "/err"); err != nil {
+		return 0, err
+	}
+	return fw.w.Write(p)
+}
+
 // SchedHook returns a fault hook for sched.Team.SetInject /
 // sched.Pool.SetInject. At every boundary the runtimes report (site names
 // "team/chunk" and "pool/task"), it consults site+"/panic" — panicking

@@ -101,17 +101,46 @@ func ReadFileInjected(path string, in *fault.Injector) (*graph.Graph, error) {
 	return ReadInjected(f, DetectFormat(path), in)
 }
 
-// WriteFile serialises g to path in the given format.
+// WriteFile serialises g to path in the given format. The write is atomic:
+// the bytes go to a temporary file in the same directory which is renamed
+// over path only after a successful write and close, so a crashed or
+// cancelled run can never leave a truncated graph file behind — path either
+// keeps its previous contents or holds the complete new serialization.
 func WriteFile(path string, g *graph.Graph, f Format) error {
-	out, err := os.Create(path)
+	return WriteFileInjected(path, g, f, nil)
+}
+
+// WriteFileInjected is WriteFile with a fault injector interposed on the
+// byte stream: the site "graphio/write/err" (transient write error)
+// exercises the atomic-replace failure path deterministically. A nil
+// injector writes normally.
+func WriteFileInjected(path string, g *graph.Graph, f Format, in *fault.Injector) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := Write(out, g, f); err != nil {
-		out.Close()
+	// Any failure past this point removes the temp file; path is untouched.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return err
 	}
-	return out.Close()
+	if err := Write(in.Writer("graphio/write", tmp), g, f); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Load resolves the CLI tools' shared -file/-graph convention: a file path

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"micgraph/internal/fault"
 	"micgraph/internal/gen"
 )
 
@@ -83,6 +84,61 @@ func TestFileRoundTrip(t *testing.T) {
 }
 
 func errOf(_ any, err error) error { return err }
+
+// TestWriteFileAtomic exercises the temp-file+rename discipline: a write
+// that fails mid-stream must leave an existing file byte-identical and must
+// not litter the directory with temp files.
+func TestWriteFileAtomic(t *testing.T) {
+	g := gen.Grid2D(9, 7)
+	h := gen.RingOfCliques(8, 4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	if err := WriteFile(path, g, Binary); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := fault.New(7)
+	in.EnableAt("graphio/write/err", 1)
+	if err := WriteFileInjected(path, h, Binary, in); err == nil {
+		t.Fatal("injected write error not surfaced")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed write changed the existing file")
+	}
+	got, err := ReadFile(path)
+	if err != nil || !g.Equal(got) {
+		t.Errorf("existing file no longer parses to the old graph: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.bin" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("temp file litter after failed write: %v", names)
+	}
+
+	// A later uninjected write replaces the file completely.
+	if err := WriteFile(path, h, Binary); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(path)
+	if err != nil || !h.Equal(got) {
+		t.Errorf("replacement write not visible: %v", err)
+	}
+}
 
 func TestLoad(t *testing.T) {
 	g, err := Load("", "pwtk", 16)

@@ -42,8 +42,13 @@ type Pool struct {
 	active   atomic.Int64 // in-flight Run/RunE/RunCtx calls
 	closed   atomic.Bool
 	wg       sync.WaitGroup
-	inject   InjectFunc          // optional fault hook, fired per task execution
-	counters *telemetry.Counters // optional scheduler counters (nil = off)
+	inject   InjectFunc // optional fault hook, fired per task execution
+
+	// counters is the optional scheduler counter sink (nil = off). It is an
+	// atomic pointer because pool workers are already spinning through the
+	// steal path when SetCounters runs: a plain field would race with the
+	// StealFails increment of an idle worker.
+	counters atomic.Pointer[telemetry.Counters]
 }
 
 // worker is one scheduler thread of the pool.
@@ -132,11 +137,12 @@ func (p *Pool) SetInject(f InjectFunc) { p.inject = f }
 // failures, range splits, chunks claimed, panics contained). Pass nil to
 // disable — the default, which keeps the scheduling paths at a single nil
 // check per event. Must not be called while a run is in flight; the
-// counters must have been created for at least Workers() workers.
-func (p *Pool) SetCounters(c *telemetry.Counters) { p.counters = c }
+// counters must have been created for at least Workers() workers. Safe to
+// call while workers are idle-spinning (the handoff is atomic).
+func (p *Pool) SetCounters(c *telemetry.Counters) { p.counters.Store(c) }
 
 // Counters returns the attached counters (nil when telemetry is off).
-func (p *Pool) Counters() *telemetry.Counters { return p.counters }
+func (p *Pool) Counters() *telemetry.Counters { return p.counters.Load() }
 
 // Close shuts the pool down: new runs are refused immediately, in-flight
 // runs drain to completion, then the workers exit. Close blocks until they
@@ -218,7 +224,7 @@ func runTask(w *worker, parent *scope, fn func(*Ctx)) {
 		defer func() {
 			if r := recover(); r != nil {
 				parent.err.record(w.id, r, debug.Stack())
-				w.pool.counters.Inc(w.id, telemetry.PanicsContained)
+				w.pool.counters.Load().Inc(w.id, telemetry.PanicsContained)
 			}
 		}()
 		if w.pool.inject != nil {
@@ -259,7 +265,7 @@ func (c *Ctx) Sync() {
 
 // submit enqueues t on w's deque and wakes a sleeping worker.
 func (p *Pool) submit(w *worker, t task) {
-	p.counters.Inc(w.id, telemetry.TasksSpawned)
+	p.counters.Load().Inc(w.id, telemetry.TasksSpawned)
 	w.dq.pushBottom(t)
 	p.queued.Add(1)
 	p.mu.Lock()
@@ -322,12 +328,12 @@ func (w *worker) tryRunOne() bool {
 		}
 		if t, ok := v.dq.stealTop(); ok {
 			p.queued.Add(-1)
-			p.counters.Inc(w.id, telemetry.Steals)
+			p.counters.Load().Inc(w.id, telemetry.Steals)
 			w.runWith(t, true)
 			return true
 		}
 	}
-	p.counters.Inc(w.id, telemetry.StealFails)
+	p.counters.Load().Inc(w.id, telemetry.StealFails)
 	return false
 }
 
@@ -369,7 +375,7 @@ func (c *Ctx) For(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 }
 
 func (c *Ctx) forSplit(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
-	counters := c.w.pool.counters
+	counters := c.w.pool.counters.Load()
 	for hi-lo > grain {
 		if c.Cancelled() {
 			return

@@ -111,7 +111,7 @@ func ParallelForRangeCtx(ctx context.Context, pool *Pool, r Range, part Partitio
 // Cancellation is polled at each split so a cancelled run stops subdividing
 // and skips unexecuted subranges.
 func simpleSplit(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
-	counters := c.w.pool.counters
+	counters := c.w.pool.counters.Load()
 	for r.IsDivisible() {
 		if c.Cancelled() {
 			return
@@ -149,7 +149,7 @@ func autoRoot(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 // is still divisible, it splits once and continues with the left half,
 // giving the next thief something big to take.
 func autoRun(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
-	counters := c.w.pool.counters
+	counters := c.w.pool.counters.Load()
 	for c.Stolen() && r.IsDivisible() {
 		if c.Cancelled() {
 			return
@@ -212,7 +212,7 @@ func affinityRun(ctx context.Context, pool *Pool, r Range, aff *AffinityState, b
 					return
 				}
 				aff.homes[i] = cc.Worker() // theft moves the home
-				cc.w.pool.counters.Inc(cc.w.id, telemetry.ChunksClaimed)
+				cc.w.pool.counters.Load().Inc(cc.w.id, telemetry.ChunksClaimed)
 				body(blk.Lo, blk.Hi, cc)
 			})
 		}

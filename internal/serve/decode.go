@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"micgraph/internal/core"
+)
+
+// DecodeExperiments reassembles core.Experiment values from a sweep job's
+// JSONL result stream — the inverse of what runSweep emits — so clients
+// can hand them straight to core.WriteSVG / WriteCSV / WriteText. "cell"
+// lines reattach to the experiment named by their experiment field;
+// "error" lines become experiment-level annotations on the last
+// experiment seen (or a synthesized one when the stream failed before any
+// experiment was emitted). Unknown line types are skipped, so the decoder
+// stays compatible with streams that also carry kernel result lines.
+func DecodeExperiments(r io.Reader) ([]*core.Experiment, error) {
+	type anyLine struct {
+		Type string `json:"type"`
+	}
+	var (
+		out  []*core.Experiment
+		byID = map[string]*core.Experiment{}
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var head anyLine
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return out, fmt.Errorf("serve: result line %d: %w", lineNo, err)
+		}
+		switch head.Type {
+		case "experiment":
+			var el ExperimentLine
+			if err := json.Unmarshal(raw, &el); err != nil {
+				return out, fmt.Errorf("serve: result line %d: %w", lineNo, err)
+			}
+			exp := &core.Experiment{ID: el.ID, Title: el.Title,
+				Series: el.Series, Rows: el.Rows, Notes: el.Notes}
+			for _, msg := range el.Errors {
+				exp.Errors = append(exp.Errors,
+					core.CellError{Experiment: el.ID, Graph: -1, Err: fmt.Errorf("%s", msg)})
+			}
+			out = append(out, exp)
+			byID[exp.ID] = exp
+		case "cell":
+			var cl CellLine
+			if err := json.Unmarshal(raw, &cl); err != nil {
+				return out, fmt.Errorf("serve: result line %d: %w", lineNo, err)
+			}
+			if exp, ok := byID[cl.Experiment]; ok {
+				exp.Cells = append(exp.Cells, cl.CellTelemetry)
+			}
+		case "error":
+			var el struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &el); err != nil {
+				return out, fmt.Errorf("serve: result line %d: %w", lineNo, err)
+			}
+			exp := &core.Experiment{ID: "job", Title: "job error"}
+			if len(out) > 0 {
+				exp = out[len(out)-1]
+			} else {
+				out = append(out, exp)
+			}
+			exp.Errors = append(exp.Errors,
+				core.CellError{Experiment: exp.ID, Graph: -1, Err: fmt.Errorf("%s", el.Error)})
+		}
+	}
+	return out, sc.Err()
+}

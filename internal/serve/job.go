@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"micgraph/internal/core"
+)
+
+// Job kinds accepted by POST /jobs.
+const (
+	KindBFS       = "bfs"       // one BFS traversal (bfsrun's variants)
+	KindColoring  = "coloring"  // one speculative coloring run
+	KindIrregular = "irregular" // the micbench irregular kernel
+	KindSweep     = "sweep"     // experiment sweeps (core.RunMany)
+)
+
+// GraphSpec names the input graph of a kernel job: either a file path on
+// the daemon's filesystem or a builtin suite graph with a shrink scale —
+// the same -file/-graph/-scale convention the CLIs use.
+type GraphSpec struct {
+	File  string `json:"file,omitempty"`
+	Suite string `json:"suite,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+}
+
+// Key is the cache key of the spec.
+func (g GraphSpec) Key() string {
+	if g.File != "" {
+		return "file:" + g.File
+	}
+	return fmt.Sprintf("suite:%s@%d", g.Suite, g.Scale)
+}
+
+// JobSpec is the body of POST /jobs.
+type JobSpec struct {
+	Kind  string    `json:"kind"`
+	Graph GraphSpec `json:"graph,omitempty"`
+
+	// Kernel options (bfs, coloring, irregular).
+	Variant string `json:"variant,omitempty"` // bfs variant or coloring/irregular runtime
+	Source  int    `json:"source,omitempty"`  // bfs source; 0 or absent = |V|/2 as in the paper
+	Chunk   int    `json:"chunk,omitempty"`   // chunk/grain/block size
+	Iters   int    `json:"iters,omitempty"`   // irregular kernel iterations
+
+	// Sweep options: experiment IDs (empty = all) and the suite shrink
+	// scale shared by every experiment of the job.
+	Experiments []string `json:"experiments,omitempty"`
+	SweepScale  int      `json:"sweep_scale,omitempty"`
+	Retries     int      `json:"retries,omitempty"` // bounded retries per sweep cell
+
+	// TimeoutMS bounds the job's run time (0 = the server default). The
+	// server clamps it to its configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize fills defaults and validates the spec.
+func (sp *JobSpec) normalize() error {
+	switch sp.Kind {
+	case KindBFS, KindColoring, KindIrregular:
+		if sp.Graph.File == "" && sp.Graph.Suite == "" {
+			return fmt.Errorf("serve: %s job needs graph.file or graph.suite", sp.Kind)
+		}
+		if sp.Graph.Scale <= 0 {
+			sp.Graph.Scale = 4
+		}
+		if sp.Variant == "" {
+			switch sp.Kind {
+			case KindBFS:
+				sp.Variant = "omp-block-relaxed"
+			default:
+				sp.Variant = "openmp"
+			}
+		}
+		if sp.Chunk <= 0 {
+			sp.Chunk = 100
+		}
+		if sp.Iters <= 0 {
+			sp.Iters = 5
+		}
+	case KindSweep:
+		if sp.SweepScale <= 0 {
+			sp.SweepScale = 4
+		}
+		known := map[string]bool{}
+		for _, id := range core.AllIDs() {
+			known[id] = true
+		}
+		for _, id := range sp.Experiments {
+			if !known[id] {
+				return fmt.Errorf("serve: unknown experiment id %q", id)
+			}
+		}
+	case "":
+		return fmt.Errorf("serve: job spec needs a kind (bfs, coloring, irregular, sweep)")
+	default:
+		return fmt.Errorf("serve: unknown job kind %q", sp.Kind)
+	}
+	if sp.TimeoutMS < 0 {
+		return fmt.Errorf("serve: negative timeout_ms")
+	}
+	if sp.Retries < 0 {
+		return fmt.Errorf("serve: negative retries")
+	}
+	return nil
+}
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusSucceeded = "succeeded"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// Job is one admitted unit of work. Result lines stream into Result while
+// the job runs; status transitions are queued -> running -> one of
+// succeeded/failed/cancelled.
+type Job struct {
+	ID     string
+	Spec   JobSpec
+	Result *Stream
+
+	mu       sync.Mutex
+	status   string
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	ctx      context.Context // job-lifetime context, live from submission
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+func newJob(id string, spec JobSpec) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Job{
+		ID:      id,
+		Spec:    spec,
+		Result:  NewStream(),
+		status:  StatusQueued,
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+}
+
+// Status returns the current status string.
+func (j *Job) Status() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Err returns the failure message ("" while running or on success).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Done is closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel asks a queued or running job to stop. Queued jobs are still
+// drained by a worker, which observes the cancelled context immediately
+// and finishes them as cancelled.
+func (j *Job) Cancel() { j.cancel() }
+
+func (j *Job) start() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(status, errMsg string) {
+	j.mu.Lock()
+	j.status = status
+	j.err = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.Result.Close()
+	close(j.done)
+}
+
+// JobView is the JSON shape of GET /jobs/{id}.
+type JobView struct {
+	ID          string  `json:"id"`
+	Kind        string  `json:"kind"`
+	Status      string  `json:"status"`
+	Error       string  `json:"error,omitempty"`
+	Created     string  `json:"created"`
+	Started     string  `json:"started,omitempty"`
+	Finished    string  `json:"finished,omitempty"`
+	RunSeconds  float64 `json:"run_seconds,omitempty"`
+	ResultBytes int     `json:"result_bytes"`
+	ResultPath  string  `json:"result_path"`
+}
+
+// View snapshots the job for the status endpoint.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		Kind:        j.Spec.Kind,
+		Status:      j.status,
+		Error:       j.err,
+		Created:     j.created.UTC().Format(time.RFC3339Nano),
+		ResultBytes: j.Result.Len(),
+		ResultPath:  "/jobs/" + j.ID + "/result",
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		v.RunSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return v
+}

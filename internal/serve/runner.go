@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"micgraph/internal/bfs"
+	"micgraph/internal/coloring"
+	"micgraph/internal/core"
+	"micgraph/internal/graph"
+	"micgraph/internal/graphio"
+	"micgraph/internal/irregular"
+	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
+)
+
+// workerRT is one queue worker's resident pair of scheduler runtimes,
+// created once at server start and reused by every job that worker runs —
+// the serving layer's whole point is not paying setup cost per request.
+type workerRT struct {
+	team *sched.Team
+	pool *sched.Pool
+}
+
+func (rt *workerRT) close() {
+	rt.team.Close()
+	rt.pool.Close()
+}
+
+// Stream line shapes. Every line carries "type" so clients can demultiplex
+// a job's JSONL: kernel jobs emit one "result" line plus a "counters"
+// line; sweep jobs emit one "experiment" line per experiment followed by
+// its "cell" lines (core.CellTelemetry records, each embedding the
+// simulator's per-cell mic.SimStats).
+type resultLine struct {
+	Type       string `json:"type"` // "result"
+	Kind       string `json:"kind"`
+	Graph      string `json:"graph"`
+	Variant    string `json:"variant,omitempty"`
+	NumLevels  int    `json:"levels,omitempty"`
+	Reached    int    `json:"reached,omitempty"`
+	Processed  int64  `json:"processed,omitempty"`
+	Duplicates int64  `json:"duplicates,omitempty"`
+	NumColors  int    `json:"colors,omitempty"`
+	Rounds     int    `json:"rounds,omitempty"`
+	Conflicts  []int  `json:"conflicts,omitempty"`
+	Iters      int    `json:"iters,omitempty"`
+	Checksum   float64 `json:"checksum,omitempty"`
+}
+
+type countersLine struct {
+	Type     string             `json:"type"` // "counters"
+	Counters telemetry.Snapshot `json:"counters"`
+}
+
+// ExperimentLine is the "experiment" record of a sweep job's stream: the
+// experiment's identity, series and table rows — everything core.WriteSVG
+// needs — with its cell telemetry following as separate "cell" lines.
+type ExperimentLine struct {
+	Type   string          `json:"type"` // "experiment"
+	ID     string          `json:"id"`
+	Title  string          `json:"title"`
+	Series []core.Series   `json:"series,omitempty"`
+	Rows   []core.TableRow `json:"rows,omitempty"`
+	Notes  string          `json:"notes,omitempty"`
+	Errors []string        `json:"errors,omitempty"`
+}
+
+// CellLine is one "cell" record: core.WriteJSON's per-cell telemetry shape
+// (series, graph, threads, simulated time, mic.SimStats) streamed one line
+// per cell as the sweep produces it.
+type CellLine struct {
+	Type string `json:"type"` // "cell"
+	core.CellTelemetry
+}
+
+// runJob executes one admitted job on worker w, streaming result lines
+// into j.Result. Panics — the runner's own or ones that escape kernel
+// containment — are converted to errors, so a poisoned job can never take
+// the daemon down.
+func (s *Server) runJob(ctx context.Context, w int, j *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("serve: job panicked: %w", e)
+			} else {
+				err = fmt.Errorf("serve: job panicked: %v", r)
+			}
+		}
+	}()
+	if s.hookExec != nil && s.hookExec(ctx, j) {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	switch j.Spec.Kind {
+	case KindSweep:
+		return s.runSweep(ctx, j)
+	default:
+		return s.runKernel(ctx, w, j)
+	}
+}
+
+// loadGraph fetches the job's graph through the cache; concurrent jobs on
+// the same graph dedup to one graphio.Load / suite generation.
+func (s *Server) loadGraph(ctx context.Context, spec GraphSpec) (*graph.Graph, error) {
+	v, err := s.cache.Get(ctx, spec.Key(), func(context.Context) (any, int64, error) {
+		g, err := graphio.LoadInjected(spec.File, spec.Suite, spec.Scale, s.cfg.Injector)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, GraphBytes(g), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graph.Graph), nil
+}
+
+// loadSuite fetches (or generates once) the experiment suite at the given
+// scale. Shuffled copies are materialised inside the loader so concurrent
+// sweep jobs share them read-only.
+func (s *Server) loadSuite(ctx context.Context, scale int) (*core.Suite, error) {
+	key := fmt.Sprintf("sweep:suite@%d", scale)
+	v, err := s.cache.Get(ctx, key, func(context.Context) (any, int64, error) {
+		suite, err := core.NewSuite(scale)
+		if err != nil {
+			return nil, 0, err
+		}
+		var bytes int64
+		for _, g := range suite.Graphs {
+			bytes += GraphBytes(g)
+		}
+		for _, g := range suite.Shuffled() {
+			bytes += GraphBytes(g)
+		}
+		return suite, bytes, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Suite), nil
+}
+
+// runSweep runs the requested experiments against the shared cached suite
+// under a per-job harness (deadline, bounded retries, per-cell telemetry)
+// and streams experiments and cells as they complete.
+func (s *Server) runSweep(ctx context.Context, j *Job) error {
+	suite, err := s.loadSuite(ctx, j.Spec.SweepScale)
+	if err != nil {
+		return err
+	}
+	js := suite.WithHarness(&core.Harness{
+		Ctx:       ctx,
+		Retries:   j.Spec.Retries,
+		Telemetry: true,
+		Counters:  s.counters,
+	})
+	ids := j.Spec.Experiments
+	if len(ids) == 0 {
+		ids = core.AllIDs()
+	}
+	for _, id := range ids {
+		exp, err := core.RunByID(id, js, s.cfg.KNF, s.cfg.Host)
+		if err != nil {
+			return err // unknown ID; normalize() should have caught it
+		}
+		line := ExperimentLine{
+			Type: "experiment", ID: exp.ID, Title: exp.Title,
+			Series: exp.Series, Rows: exp.Rows, Notes: exp.Notes,
+		}
+		for _, ce := range exp.Errors {
+			line.Errors = append(line.Errors, ce.Error())
+		}
+		if err := j.Result.WriteLine(line); err != nil {
+			return err
+		}
+		for _, cell := range exp.Cells {
+			if err := j.Result.WriteLine(CellLine{Type: "cell", CellTelemetry: cell}); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runKernel runs one BFS / coloring / irregular job on worker w's resident
+// runtimes and streams the result plus a scheduler-counter snapshot.
+func (s *Server) runKernel(ctx context.Context, w int, j *Job) error {
+	g, err := s.loadGraph(ctx, j.Spec.Graph)
+	if err != nil {
+		return err
+	}
+	rt := s.rts[w]
+	spec := j.Spec
+	line := resultLine{Type: "result", Kind: spec.Kind, Graph: g.String(), Variant: spec.Variant}
+
+	switch spec.Kind {
+	case KindBFS:
+		src := int32(spec.Source)
+		if src <= 0 || int(src) >= g.NumVertices() {
+			src = int32(g.NumVertices() / 2)
+		}
+		opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk}
+		var res bfs.Result
+		switch spec.Variant {
+		case "seq":
+			res = bfs.Sequential(g, src)
+		case "omp-block", "omp-block-relaxed":
+			res, err = bfs.BlockTeamCtx(ctx, g, src, rt.team, opts, spec.Chunk,
+				spec.Variant == "omp-block-relaxed")
+		case "tbb-block", "tbb-block-relaxed":
+			res, err = bfs.BlockTBBCtx(ctx, g, src, rt.pool, sched.SimplePartitioner,
+				spec.Chunk, spec.Chunk, spec.Variant == "tbb-block-relaxed")
+		case "bag":
+			res, err = bfs.BagCilkCtx(ctx, g, src, rt.pool, spec.Chunk)
+		case "tls":
+			res, err = bfs.TLSTeamCtx(ctx, g, src, rt.team, opts)
+		default:
+			return fmt.Errorf("serve: unknown bfs variant %q", spec.Variant)
+		}
+		if err != nil {
+			return err
+		}
+		reached := 0
+		for _, l := range res.Levels {
+			if l != bfs.Unvisited {
+				reached++
+			}
+		}
+		line.NumLevels = res.NumLevels
+		line.Reached = reached
+		line.Processed = res.Processed
+		line.Duplicates = res.Duplicates
+
+	case KindColoring:
+		var res coloring.Result
+		switch spec.Variant {
+		case "seq":
+			res = coloring.SeqGreedy(g)
+		case "openmp":
+			res, err = coloring.ColorTeamCtx(ctx, g, rt.team,
+				sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
+		case "cilk":
+			res, err = coloring.ColorCilkCtx(ctx, g, rt.pool, spec.Chunk, coloring.CilkHolder)
+		case "tbb":
+			res, err = coloring.ColorTBBCtx(ctx, g, rt.pool, sched.SimplePartitioner, spec.Chunk)
+		default:
+			return fmt.Errorf("serve: unknown coloring runtime %q", spec.Variant)
+		}
+		if err != nil {
+			return err
+		}
+		if err := coloring.Validate(g, res.Colors); err != nil {
+			return fmt.Errorf("serve: coloring invalid: %w", err)
+		}
+		line.NumColors = res.NumColors
+		line.Rounds = res.Rounds
+		line.Conflicts = res.Conflicts
+
+	case KindIrregular:
+		state := irregular.InitialState(g.NumVertices())
+		var out []float64
+		switch spec.Variant {
+		case "openmp":
+			out, err = irregular.TeamCtx(ctx, g, state, spec.Iters, rt.team,
+				sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
+		case "cilk":
+			out, err = irregular.CilkCtx(ctx, g, state, spec.Iters, rt.pool, spec.Chunk)
+		case "tbb":
+			out, err = irregular.TBBCtx(ctx, g, state, spec.Iters, rt.pool,
+				sched.SimplePartitioner, spec.Chunk)
+		default:
+			return fmt.Errorf("serve: unknown irregular runtime %q", spec.Variant)
+		}
+		if err != nil {
+			return err
+		}
+		sum := 0.0
+		for _, v := range out {
+			sum += v
+		}
+		line.Iters = spec.Iters
+		line.Checksum = sum
+	}
+
+	if err := j.Result.WriteLine(line); err != nil {
+		return err
+	}
+	return j.Result.WriteLine(countersLine{Type: "counters", Counters: s.counters.Snapshot()})
+}

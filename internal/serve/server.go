@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"micgraph/internal/fault"
+	"micgraph/internal/mic"
+	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
+)
+
+// Config sizes the serving subsystem. Zero values take the documented
+// defaults, so Server{} construction in tests stays terse.
+type Config struct {
+	// Workers is the number of queue workers, i.e. jobs in flight at once
+	// (default 2). Each owns a resident sched.Team and sched.Pool.
+	Workers int
+	// KernelWorkers is the scheduler parallelism inside each job
+	// (default 4).
+	KernelWorkers int
+	// QueueDepth bounds the number of admitted-but-not-running jobs
+	// (default 16). A submit beyond it gets 429 + Retry-After.
+	QueueDepth int
+	// CacheBytes is the graph cache budget (default 1 GiB).
+	CacheBytes int64
+	// DefaultTimeout/MaxTimeout bound per-job run time (defaults 2m/10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the backpressure hint on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxJobs caps retained terminal jobs (default 1024); the oldest
+	// finished jobs are forgotten first.
+	MaxJobs int
+
+	// Injector, when set, flows fault injection through the service path:
+	// graph loads read through it and every worker runtime gets its
+	// SchedHook, so injected stalls and panics surface as per-job errors.
+	Injector *fault.Injector
+	// Stall is the injected stall duration for the sched hook (default
+	// 10ms; only meaningful with an Injector).
+	Stall time.Duration
+
+	// KNF and Host are the simulated machines sweeps run on (defaults
+	// mic.KNF() / mic.HostXeon()).
+	KNF  *mic.Machine
+	Host *mic.Machine
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.KernelWorkers <= 0 {
+		c.KernelWorkers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 1 << 30
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Stall <= 0 {
+		c.Stall = 10 * time.Millisecond
+	}
+	if c.KNF == nil {
+		c.KNF = mic.KNF()
+	}
+	if c.Host == nil {
+		c.Host = mic.HostXeon()
+	}
+	return c
+}
+
+// Server is the micserved daemon core: cache + queue + job registry +
+// HTTP handlers, independent of the actual listener so tests drive it via
+// httptest.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	queue    *Queue
+	counters *telemetry.Counters
+	rts      []*workerRT
+	started  time.Time
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // insertion order, for retention trimming
+	seq   int64
+
+	// hookExec is a test seam: when set and it returns true, runJob skips
+	// normal execution (the hook "ran" the job). Lets tests hold a worker
+	// busy deterministically. Never set in production.
+	hookExec func(ctx context.Context, j *Job) bool
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheBytes),
+		counters: telemetry.NewCounters(cfg.KernelWorkers),
+		jobs:     make(map[string]*Job),
+		started:  time.Now(),
+	}
+	s.rts = make([]*workerRT, cfg.Workers)
+	for i := range s.rts {
+		rt := &workerRT{
+			team: sched.NewTeam(cfg.KernelWorkers),
+			pool: sched.NewPool(cfg.KernelWorkers),
+		}
+		rt.team.SetCounters(s.counters)
+		rt.pool.SetCounters(s.counters)
+		if cfg.Injector != nil {
+			hook := cfg.Injector.SchedHook(cfg.Stall)
+			rt.team.SetInject(hook)
+			rt.pool.SetInject(hook)
+		}
+		s.rts[i] = rt
+	}
+	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.exec)
+	return s
+}
+
+// Cache exposes the graph cache (stats, invalidation).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Queue exposes the job queue (stats, direct drains in tests).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Submit validates and admits a job, returning it (with its assigned ID)
+// or the admission error (ErrQueueFull, ErrDraining, or a validation
+// error).
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	s.mu.Unlock()
+
+	j := newJob(id, spec)
+	s.register(j)
+	if err := s.queue.Submit(j); err != nil {
+		s.unregister(id)
+		return nil, err
+	}
+	return j, nil
+}
+
+func (s *Server) register(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	// Retention: forget the oldest terminal jobs beyond the cap. In-flight
+	// jobs are never forgotten, whatever their age.
+	if len(s.order) > s.cfg.MaxJobs {
+		kept := s.order[:0]
+		excess := len(s.order) - s.cfg.MaxJobs
+		for _, id := range s.order {
+			old := s.jobs[id]
+			terminal := false
+			if old != nil {
+				switch old.Status() {
+				case StatusSucceeded, StatusFailed, StatusCancelled:
+					terminal = true
+				}
+			}
+			if excess > 0 && terminal {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	if n := len(s.order); n > 0 && s.order[n-1] == id {
+		s.order = s.order[:n-1]
+	}
+}
+
+// JobByID returns a retained job.
+func (s *Server) JobByID(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// exec runs one job on worker w: per-job deadline, status transitions,
+// error classification.
+func (s *Server) exec(w int, j *Job) {
+	timeout := s.cfg.DefaultTimeout
+	if j.Spec.TimeoutMS > 0 {
+		timeout = time.Duration(j.Spec.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+	defer j.cancel() // release the job-lifetime context once terminal
+	j.start()
+
+	err := s.runJob(ctx, w, j)
+	switch {
+	case err == nil:
+		j.finish(StatusSucceeded, "")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.Result.WriteLine(map[string]string{"type": "error", "error": err.Error()})
+		j.finish(StatusCancelled, err.Error())
+	default:
+		j.Result.WriteLine(map[string]string{"type": "error", "error": err.Error()})
+		j.finish(StatusFailed, err.Error())
+	}
+}
+
+// Drain stops admission and waits for every admitted job, then shuts the
+// worker runtimes down. Used by SIGTERM handling and tests.
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.queue.Drain(ctx)
+	if err == nil {
+		for _, rt := range s.rts {
+			rt.close()
+		}
+	}
+	return err
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs             submit a job (202, 400, 429+Retry-After, 503)
+//	GET    /jobs             list retained jobs
+//	GET    /jobs/{id}        job status
+//	DELETE /jobs/{id}        cancel a job
+//	GET    /jobs/{id}/result stream results as JSONL (follows a running job)
+//	GET    /healthz          liveness + drain state
+//	GET    /metricsz         telemetry counters, cache, queue and job stats
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job spec: %w", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, j.View())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			views = append(views, j.View())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	j.Result.WriteTo(r.Context(), w, flush)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.queue.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"queue":          s.queue.Stats(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	byStatus := map[string]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byStatus[j.Status()]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"counters":       s.counters.Snapshot(),
+		"cache":          s.cache.Stats(),
+		"queue":          s.queue.Stats(),
+		"jobs":           byStatus,
+	})
+}

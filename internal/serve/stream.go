@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Stream is an append-only JSONL buffer that supports concurrent readers
+// while the producing job is still running: each WriteLine appends one
+// JSON-encoded line and wakes blocked readers, Close marks the end of the
+// stream. Readers stream from the beginning, so a client that connects
+// mid-job still sees every line.
+type Stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+// NewStream creates an open, empty stream.
+func NewStream() *Stream {
+	s := &Stream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// WriteLine marshals v and appends it as one line. Lines written after
+// Close are dropped (the job was cancelled mid-write; its tail is moot).
+func (s *Stream) WriteLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.buf = append(s.buf, b...)
+	s.buf = append(s.buf, '\n')
+	s.cond.Broadcast()
+	return nil
+}
+
+// Close ends the stream; blocked readers drain what is buffered and return.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Len returns the number of buffered bytes.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Bytes returns a copy of everything written so far.
+func (s *Stream) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, len(s.buf))
+	copy(out, s.buf)
+	return out
+}
+
+// WriteTo streams the buffer to w from the beginning, blocking for more
+// lines until the stream is closed or ctx is cancelled. flush (optional) is
+// called after every write burst so HTTP responses deliver lines as they
+// are produced. Returns the first write error, or ctx.Err() on
+// cancellation.
+func (s *Stream) WriteTo(ctx context.Context, w io.Writer, flush func()) error {
+	// A cancelled context must wake a blocked reader: Cond has no native
+	// cancellation, so a watcher broadcasts once when ctx ends.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
+	off := 0
+	for {
+		s.mu.Lock()
+		for off == len(s.buf) && !s.closed && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		chunk := s.buf[off:]
+		closed := s.closed
+		s.mu.Unlock()
+
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			off += len(chunk)
+			if flush != nil {
+				flush()
+			}
+		}
+		if closed {
+			s.mu.Lock()
+			done := off == len(s.buf)
+			s.mu.Unlock()
+			if done {
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench.sh — run the bench_test.go benchmarks and emit a machine-readable
+# JSON baseline for perf-trajectory tracking.
+#
+# Usage:
+#   scripts/bench.sh                  # all benchmarks, 1 iteration each -> BENCH_0.json
+#   BENCH_PATTERN='Kernel' scripts/bench.sh
+#   BENCH_TIME=1s BENCH_COUNT=3 BENCH_OUT=BENCH_1.json scripts/bench.sh
+#
+# Output: a JSON array of {"name", "iterations", "ns_per_op", "bytes_per_op",
+# "allocs_per_op"} objects, one per benchmark line (repeated names mean
+# BENCH_COUNT > 1). The raw `go test` output is preserved next to it as
+# <out>.txt so regressions can be rechecked with benchstat-style tooling.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-.}"
+TIME="${BENCH_TIME:-1x}"
+COUNT="${BENCH_COUNT:-1}"
+OUT="${BENCH_OUT:-BENCH_0.json}"
+RAW="${OUT%.json}.txt"
+
+echo "bench.sh: go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $TIME -count $COUNT ." >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" -count "$COUNT" -timeout 60m . | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkFoo-8   	      10	 123456 ns/op	    4096 B/op	      12 allocs/op
+# (B/op and allocs/op are present because of -benchmem).
+awk '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (bytes == "")  bytes = 0
+    if (allocs == "") allocs = 0
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$RAW" > "$OUT"
+
+N=$(grep -c '"name"' "$OUT" || true)
+echo "bench.sh: wrote $N benchmark records to $OUT (raw output in $RAW)" >&2
