@@ -1,0 +1,85 @@
+// Command micvet runs the repository's custom static-analysis suite: five
+// analyzers that enforce the simulator's determinism, cancellation, and
+// concurrency invariants (see internal/analysis and DESIGN.md).
+//
+// Usage:
+//
+//	micvet [-only name,name] [-json] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. The exit
+// status is 1 when any diagnostic is reported, 2 on usage or load errors.
+// Individual findings can be suppressed with a `//micvet:allow <analyzer>
+// <reason>` comment on (or directly above) the offending line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"micgraph/internal/analysis"
+)
+
+func main() {
+	var (
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		asJSON   = flag.Bool("json", false, "emit diagnostics as JSON")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		exitCode = 0
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: micvet [-only name,name] [-json] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		names := strings.Split(*only, ",")
+		analyzers = analysis.ByName(names)
+		if analyzers == nil {
+			var valid []string
+			for _, a := range analysis.All() {
+				valid = append(valid, a.Name)
+			}
+			fmt.Fprintf(os.Stderr, "micvet: unknown analyzer in %q (valid: %s)\n", *only, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	pkgs, err := analysis.LoadModule(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "micvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "micvet: %v\n", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "micvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		exitCode = 1
+	}
+	os.Exit(exitCode)
+}

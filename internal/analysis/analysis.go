@@ -1,0 +1,168 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// micvet analyzer suite that enforces this repository's simulator
+// invariants: determinism of the mic machine model, wall-clock hygiene in
+// the kernels, single-discipline atomic field access, cancellation on
+// runtime loop backedges, and fault-injection propagation.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) so analyzers read idiomatically
+// and could be ported to the real driver wholesale — but it is built only
+// on the standard library (go/ast, go/types, go/importer) because this
+// module vendors no dependencies. Packages are loaded by package load:
+// module packages are parsed and type-checked from source with full
+// types.Info, while imports outside the module are satisfied from the
+// compiler's export data located via `go list -deps -export`.
+//
+// Diagnostics may be suppressed per line with a trailing or preceding
+// comment of the form:
+//
+//	//micvet:allow <analyzer> <reason>
+//
+// The reason is mandatory by convention (reviewers look for it), though
+// only the analyzer name is machine-checked.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker. Name appears in diagnostics
+// and in //micvet:allow suppressions; Doc is the one-paragraph invariant
+// statement shown by `micvet -list`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// PkgPath is the package's import path as the loader resolved it. For
+	// fixture packages loaded from a testdata root this is the directory
+	// name, which lets scope matching work identically in tests.
+	PkgPath string
+	Info    *types.Info
+
+	diagnostics []Diagnostic
+	suppressed  suppressionIndex
+}
+
+// Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless a //micvet:allow comment for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressionIndex maps file -> line -> set of analyzer names allowed
+// there. A //micvet:allow comment covers its own line (trailing-comment
+// style) and the following line (annotation-above-the-statement style).
+type suppressionIndex map[string]map[int][]string
+
+func (s suppressionIndex) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, name := range lines[pos.Line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSuppressions scans file comments for //micvet:allow annotations.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := make(suppressionIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "micvet:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "micvet:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx[pos.Filename] = lines
+				}
+				name := fields[0]
+				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[pos.Line+1] = append(lines[pos.Line+1], name)
+			}
+		}
+	}
+	return idx
+}
+
+// RunAnalyzers applies each analyzer to each package and returns all
+// diagnostics sorted by position then analyzer name.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		supp := buildSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				PkgPath:    pkg.Path,
+				Info:       pkg.Info,
+				suppressed: supp,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			out = append(out, pass.diagnostics...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,102 @@
+// Package analysistest runs micvet analyzers over golden fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture sources
+// live under a testdata root, and every expected diagnostic is declared by
+// a trailing comment of the form
+//
+//	// want "regexp"
+//
+// (several quoted regexps may follow one want). Run fails the test when a
+// diagnostic has no matching want on its line, or a want goes unmatched —
+// so fixtures document both the positive cases an analyzer must catch and
+// the negative cases it must stay silent on.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"micgraph/internal/analysis"
+)
+
+// expectation is one want entry: a compiled regexp and whether a
+// diagnostic matched it.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture packages at the given paths (relative to root),
+// applies the analyzer, and checks its diagnostics against the packages'
+// want comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadDirs(root, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					collectWants(t, pkg, c, wants)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package, c *ast.Comment, wants map[string][]*expectation) {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	for _, m := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+		raw, err := strconv.Unquote(m)
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", key, m, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+		}
+		wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+	}
+}

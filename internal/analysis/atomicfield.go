@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField flags mixed atomic/plain access to a struct field: once any
+// code touches a field through a sync/atomic function (&s.f passed to
+// atomic.LoadX/StoreX/AddX/SwapX/CompareAndSwapX), every other access must
+// also be atomic. This is the exact shape of the PR 3 sched.Pool
+// SetCounters race (hot path loaded the counters pointer atomically while
+// SetCounters stored it plainly), which -race only catches when both paths
+// run concurrently in a test. Fields of type atomic.Int64/atomic.Pointer
+// etc. are enforced by the type system and need no analyzer.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere in a package must never be read or written plainly elsewhere " +
+		"in that package (mixed atomic/non-atomic access is a data race)",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: fields accessed atomically, and the selector nodes that do so.
+	atomicFields := map[*types.Var]bool{}
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods of atomic.Int64 etc. are type-safe
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := fieldOf(pass.Info, sel); field != nil {
+					atomicFields[field] = true
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: plain accesses to those fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			field := fieldOf(pass.Info, sel)
+			if field != nil && atomicFields[field] {
+				owner := types.TypeString(pass.Info.Selections[sel].Recv(), types.RelativeTo(pass.Pkg))
+				pass.Reportf(sel.Pos(), "plain access to field (%s).%s, which is accessed with sync/atomic elsewhere: mixed access is a data race; use the same atomic discipline everywhere",
+					owner, field.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf returns the struct field selected by sel, or nil when sel is not
+// a field selection.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}

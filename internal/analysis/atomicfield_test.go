@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+	"micgraph/internal/analysis/analysistest"
+)
+
+// TestAtomicField checks mixed atomic/plain field detection, including
+// the regression fixture reproducing the PR 3 sched.Pool.SetCounters race
+// (atomic load on the hot path, plain store in the setter), and the
+// typed-atomic and plain-only negative cases.
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.AtomicField, "atomicfield")
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxLoop guards PR 1's cancellation contract: a function that takes a
+// context.Context promises cooperative cancellation, so every potentially
+// unbounded loop in it must observe the context on its backedge — by
+// polling ctx.Err(), selecting on ctx.Done(), or delegating to a call
+// that receives the context (the ...Ctx runtime drivers poll at every
+// chunk-claim boundary).
+//
+// Bounded loops are exempt: range loops (bounded by the ranged value) and
+// counted loops (a three-clause for whose condition tests the variable
+// stepped in the post statement). Everything else — `for {}`, fixpoint
+// loops like `for len(visit) > 0`, retry loops — must touch the context.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "functions taking a context.Context must observe it inside every unbounded loop (poll ctx.Err(), select on " +
+		"ctx.Done(), or call a ctx-taking function), so cancellation cannot silently regress",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasContextParam(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || countedLoop(loop) {
+					return true
+				}
+				if loopUsesContext(pass, loop) {
+					return true
+				}
+				pass.Reportf(loop.Pos(), "unbounded loop in %s does not observe its context: poll ctx.Err(), select on ctx.Done(), or use a ...Ctx driver so cancellation reaches this backedge", fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// hasContextParam reports whether fd declares a context.Context parameter.
+func hasContextParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.Info.Types[field.Type]; ok && tv.Type != nil && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// countedLoop reports whether loop is a classic counted loop: its
+// condition compares a variable that the post statement steps, so the
+// iteration count is bounded by data already in hand.
+func countedLoop(loop *ast.ForStmt) bool {
+	if loop.Cond == nil || loop.Post == nil {
+		return false
+	}
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return false
+	}
+	stepped := steppedVar(loop.Post)
+	if stepped == "" {
+		return false
+	}
+	for _, side := range []ast.Expr{cond.X, cond.Y} {
+		if id, ok := ast.Unparen(side).(*ast.Ident); ok && id.Name == stepped {
+			return true
+		}
+	}
+	return false
+}
+
+// steppedVar returns the name of the variable stepped by a loop post
+// statement (i++, i--, i += k, i -= k), or "".
+func steppedVar(post ast.Stmt) string {
+	switch s := post.(type) {
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.AssignStmt:
+		if (s.Tok == token.ADD_ASSIGN || s.Tok == token.SUB_ASSIGN) && len(s.Lhs) == 1 {
+			if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+	}
+	return ""
+}
+
+// loopUsesContext reports whether the loop condition or body contains any
+// context.Context-typed expression.
+func loopUsesContext(pass *Pass, loop *ast.ForStmt) bool {
+	if loop.Cond != nil && usesContext(pass.Info, loop.Cond) {
+		return true
+	}
+	return usesContext(pass.Info, loop.Body)
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+	"micgraph/internal/analysis/analysistest"
+)
+
+// TestCtxLoop checks that unbounded loops in context-taking functions
+// must observe their context, while counted loops, range loops, polling
+// loops, delegating loops, select-on-Done loops, and context-free
+// functions all pass.
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.CtxLoop, "ctxloop")
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// faultMethods are the *fault.Injector methods whose results carry the
+// injected failure (or the wrapped, failure-injecting object) and
+// therefore must not be discarded.
+var faultMethods = map[string]bool{
+	"Fire": true, "FireErr": true, "Reader": true, "Writer": true, "SchedHook": true,
+}
+
+// FaultSite ensures every fault-injection point propagates what it
+// injects: the result of Injector.Fire/FireErr/Reader/Writer must be
+// used, never dropped on the floor (an injected fault that is swallowed
+// turns the fault-injection test suite into a no-op for that path).
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc: "results of fault.Injector injection points (Fire, FireErr, Reader, Writer, SchedHook) must be used and " +
+		"propagated, never discarded or swallowed by an empty branch",
+	Run: runFaultSite,
+}
+
+func runFaultSite(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if name, ok := injectorCall(pass.Info, call); ok {
+						pass.Reportf(call.Pos(), "result of fault injection point %s discarded: the injected fault must propagate to the caller", name)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" || i >= len(s.Rhs) {
+						continue
+					}
+					if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok {
+						if name, ok := injectorCall(pass.Info, call); ok {
+							pass.Reportf(call.Pos(), "result of fault injection point %s assigned to _: the injected fault must propagate to the caller", name)
+						}
+					}
+				}
+			case *ast.IfStmt:
+				if len(s.Body.List) != 0 || s.Else != nil {
+					return true
+				}
+				found := false
+				name := ""
+				ast.Inspect(s.Cond, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok && !found {
+						if m, ok := injectorCall(pass.Info, call); ok {
+							found, name = true, m
+						}
+					}
+					return true
+				})
+				if !found && s.Init != nil {
+					ast.Inspect(s.Init, func(n ast.Node) bool {
+						if call, ok := n.(*ast.CallExpr); ok && !found {
+							if m, ok := injectorCall(pass.Info, call); ok {
+								found, name = true, m
+							}
+						}
+						return true
+					})
+				}
+				if found {
+					pass.Reportf(s.Pos(), "fault injection point %s checked by an empty branch: the injected fault is swallowed instead of propagated", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// injectorCall reports whether call invokes a fault-propagating method of
+// a type named Injector in a package named fault, returning the method
+// name. Matching by package name (not path) lets the analyzer work
+// against both micgraph/internal/fault and test fixtures.
+func injectorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "fault" || !faultMethods[fn.Name()] {
+		return "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Injector" {
+		return "", false
+	}
+	return "Injector." + fn.Name(), true
+}

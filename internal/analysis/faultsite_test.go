@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+	"micgraph/internal/analysis/analysistest"
+)
+
+// TestFaultSite checks that discarded, blank-assigned, and
+// empty-branch-swallowed injection results are flagged, and the
+// propagating call shapes pass. The fixture fault package itself is also
+// analyzed so in-package use (FireErr calling Fire) stays clean.
+func TestFaultSite(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.FaultSite, "fault", "faultuser")
+}

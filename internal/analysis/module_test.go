@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+)
+
+// TestModuleIsClean is the meta-test behind the CI gate: the full micvet
+// suite over the real module must produce zero diagnostics. Any new
+// invariant violation fails here (and in the micvet CI job) before the
+// -race job could ever catch it dynamically.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.LoadModule("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

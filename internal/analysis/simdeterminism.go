@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simScope holds the packages that must be clock- and randomness-free:
+// the machine simulator and the analytic performance model. Their outputs
+// ARE the paper's figures; any wall-clock or unseeded-randomness
+// dependence makes the figures unreproducible.
+var simScope = []string{"mic", "perfmodel"}
+
+// emitScope holds the packages whose output paths (JSONL, SVG, trace
+// JSON, HTTP result streams) must be byte-deterministic: a map iteration
+// feeding an emitter directly is order-nondeterministic by language spec.
+var emitScope = []string{"mic", "perfmodel", "core", "serve", "telemetry"}
+
+// emitMethods are method names treated as "emits output" when called
+// inside a range-over-map body.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "WriteLine": true, "Encode": true, "Record": true, "Emit": true,
+}
+
+// SimDeterminism enforces the simulator's reproducibility contract:
+// no wall-clock reads or math/rand use inside the simulator and
+// performance-model packages (seeded randomness must come from
+// internal/xrand), and no map-iteration-ordered writes into any output
+// path (collect keys, sort, then emit).
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc: "simulator packages (internal/mic, internal/perfmodel) must be clock-free and use only seeded internal/xrand " +
+		"randomness; output paths (also internal/core, internal/serve, internal/telemetry) must not emit during map iteration",
+	Run: runSimDeterminism,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	if inScope(pass.PkgPath, simScope) {
+		checkClockAndRand(pass)
+	}
+	if inScope(pass.PkgPath, emitScope) {
+		checkMapEmission(pass)
+	}
+	return nil
+}
+
+func checkClockAndRand(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in simulator package: use seeded generators from internal/xrand", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			for _, name := range []string{"Now", "Since"} {
+				if isPkgFunc(fn, "time", name) {
+					pass.Reportf(call.Pos(), "time.%s call in simulator package: simulated results must not depend on the wall clock", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkMapEmission(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if emitsOutput(pass.Info, call) {
+					pass.Reportf(call.Pos(), "output emitted while iterating over a map: iteration order is nondeterministic; collect keys, sort, then emit")
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// emitsOutput reports whether call writes to an output sink: an fmt
+// Fprint* call or a method whose name marks an emitter (Write, Encode,
+// Record, ...). Method calls on map-typed receivers (e.g. populating a
+// counter map) do not count.
+func emitsOutput(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	for _, name := range []string{"Fprint", "Fprintf", "Fprintln"} {
+		if isPkgFunc(fn, "fmt", name) {
+			return true
+		}
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && emitMethods[fn.Name()]
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+	"micgraph/internal/analysis/analysistest"
+)
+
+// TestSimDeterminism checks the three invariant legs — no wall clock, no
+// math/rand, no map-ordered emission — plus the sorted-emission and
+// map-to-map negative cases, and that out-of-scope packages are ignored.
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.SimDeterminism, "mic", "outside")
+}

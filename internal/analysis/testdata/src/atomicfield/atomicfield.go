@@ -1,0 +1,36 @@
+// Package atomicfield exercises the mixed atomic/plain field access
+// analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type gauge struct {
+	hits  int64
+	calls int64
+}
+
+// inc establishes the atomic discipline for hits.
+func (g *gauge) inc() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+// read violates it with a plain load.
+func (g *gauge) read() int64 {
+	return g.hits // want "plain access to field .*hits.*accessed with sync/atomic elsewhere"
+}
+
+// sum mixes disciplines across two fields: calls is plain-only (fine),
+// hits is loaded atomically (fine).
+func (g *gauge) sum() int64 {
+	g.calls++
+	return atomic.LoadInt64(&g.hits)
+}
+
+// typedGauge uses the typed atomics: the type system enforces the
+// discipline, so the analyzer has nothing to say.
+type typedGauge struct{ n atomic.Int64 }
+
+func (t *typedGauge) bump() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}

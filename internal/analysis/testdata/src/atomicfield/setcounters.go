@@ -1,0 +1,27 @@
+// This file reproduces the PR 3 sched.Pool.SetCounters race as a
+// regression fixture: the hot path loaded the counters pointer atomically
+// while SetCounters stored it plainly. The fix made the field an
+// atomic.Pointer; this is the pre-fix shape the analyzer must catch.
+package atomicfield
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+type counters struct{ n [8]int64 }
+
+type pool struct {
+	counters unsafe.Pointer // *counters, swapped at run time
+}
+
+// hotPath reads the attachment point atomically on every scheduler event.
+func (p *pool) hotPath() *counters {
+	return (*counters)(atomic.LoadPointer(&p.counters))
+}
+
+// SetCounters is the textbook mixed access: a plain store racing the hot
+// path's atomic load.
+func (p *pool) SetCounters(c *counters) {
+	p.counters = unsafe.Pointer(c) // want "plain access to field .*counters.*accessed with sync/atomic elsewhere"
+}

@@ -1,0 +1,83 @@
+// Package ctxloop exercises the cancellation-backedge analyzer.
+package ctxloop
+
+import "context"
+
+// drainCtx iterates to a fixpoint without ever consulting its context.
+func drainCtx(ctx context.Context, q []int) {
+	for len(q) > 0 { // want "unbounded loop in drainCtx does not observe its context"
+		q = q[1:]
+	}
+}
+
+// spinCtx has a bare for: the classic uncancellable spin.
+func spinCtx(ctx context.Context) int {
+	n := 0
+	for { // want "unbounded loop in spinCtx does not observe its context"
+		n++
+		if n > 1000 {
+			return n
+		}
+	}
+}
+
+// okPoll observes the context on the backedge.
+func okPoll(ctx context.Context, q []int) error {
+	for len(q) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		q = q[1:]
+	}
+	return nil
+}
+
+// okDelegate hands the context to a callee each iteration (the ...Ctx
+// runtime drivers poll at chunk-claim boundaries, so this suffices).
+func okDelegate(ctx context.Context, n int) {
+	for n > 0 {
+		stepCtx(ctx)
+		n--
+	}
+}
+
+func stepCtx(ctx context.Context) { _ = ctx }
+
+// okSelect blocks on Done like a channel-driven worker loop.
+func okSelect(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// okBounded: counted and range loops terminate on their own and are
+// exempt.
+func okBounded(ctx context.Context, xs []int) int {
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	for _, x := range xs {
+		s += x
+	}
+	for r := 3; r >= 0; r-- {
+		s++
+	}
+	return s
+}
+
+// plain has no context parameter, so it makes no cancellation promise.
+func plain(q []int) int {
+	n := 0
+	for len(q) > 0 {
+		q = q[1:]
+		n++
+	}
+	return n
+}

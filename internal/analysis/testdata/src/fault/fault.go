@@ -1,0 +1,28 @@
+// Package fault is a stand-in for micgraph/internal/fault: the faultsite
+// analyzer matches injection points by package name, receiver type name,
+// and method name, so fixtures exercise it without importing the module.
+package fault
+
+import (
+	"errors"
+	"io"
+)
+
+type Injector struct{ armed bool }
+
+func (in *Injector) Fire(site string) bool { return in != nil && in.armed }
+
+func (in *Injector) FireErr(site string) error {
+	if in.Fire(site) {
+		return errors.New(site)
+	}
+	return nil
+}
+
+func (in *Injector) Reader(site string, r io.Reader) io.Reader { return r }
+
+func (in *Injector) Writer(site string, w io.Writer) io.Writer { return w }
+
+func (in *Injector) SchedHook() func(site string, worker int) {
+	return func(string, int) {}
+}

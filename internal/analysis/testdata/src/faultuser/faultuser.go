@@ -1,0 +1,39 @@
+// Package faultuser exercises the faultsite analyzer against the fake
+// fault package: every injection point's result must be used.
+package faultuser
+
+import (
+	"bytes"
+	"io"
+
+	"fault"
+)
+
+// drop discards injection results outright.
+func drop(in *fault.Injector) {
+	in.FireErr("serve/job") // want "result of fault injection point Injector.FireErr discarded"
+	_ = in.FireErr("serve/job") // want "result of fault injection point Injector.FireErr assigned to _"
+	in.Reader("graphio/read", bytes.NewReader(nil)) // want "result of fault injection point Injector.Reader discarded"
+}
+
+// swallow consults the injector but lets the fault die in an empty branch.
+func swallow(in *fault.Injector) {
+	if in.Fire("team/chunk/stall") { // want "fault injection point Injector.Fire checked by an empty branch"
+	}
+	if err := in.FireErr("pool/task"); err != nil { // want "fault injection point Injector.FireErr checked by an empty branch"
+	}
+}
+
+// propagate is the required shape: errors return, wrapped streams are
+// actually read, booleans drive real behavior.
+func propagate(in *fault.Injector) error {
+	if err := in.FireErr("graphio/read/err"); err != nil {
+		return err
+	}
+	if in.Fire("mic/straggler") {
+		return io.ErrUnexpectedEOF
+	}
+	r := in.Reader("graphio/read", bytes.NewReader(nil))
+	_, err := io.ReadAll(r)
+	return err
+}

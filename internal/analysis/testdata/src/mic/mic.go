@@ -1,0 +1,49 @@
+// Package mic is a simdeterminism fixture standing in for the machine
+// simulator (scoping matches the "mic" path segment): no wall clock, no
+// math/rand, no map-ordered output.
+package mic
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want "import of math/rand in simulator package"
+	"sort"
+	"time"
+)
+
+// stamp depends on the wall clock — the simulator never may.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now call in simulator package"
+}
+
+// jitter uses unseeded process-global randomness.
+func jitter() float64 { return rand.Float64() }
+
+// dumpBad emits while ranging over a map: byte order varies run to run.
+func dumpBad(w io.Writer, stats map[string]int64) {
+	for k, v := range stats {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "output emitted while iterating over a map"
+	}
+}
+
+// dumpGood is the required shape: collect keys, sort, then emit.
+func dumpGood(w io.Writer, stats map[string]int64) {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, stats[k])
+	}
+}
+
+// tally only fills another map during iteration — no emission, no
+// diagnostic.
+func tally(stats map[string]int64) map[string]bool {
+	seen := map[string]bool{}
+	for k := range stats {
+		seen[k] = true
+	}
+	return seen
+}

@@ -1,0 +1,17 @@
+// Package outside is out of every scoped analyzer's reach: clock reads
+// and map-order emission here must produce no diagnostics.
+package outside
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func stamp() time.Time { return time.Now() }
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// inScope reports whether pkgPath contains any of the given path segments.
+// Real module paths ("micgraph/internal/bfs") and fixture paths ("bfs")
+// both match segment "bfs", so analyzers scope identically under test.
+func inScope(pkgPath string, segments []string) bool {
+	for _, part := range strings.Split(pkgPath, "/") {
+		for _, s := range segments {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method of call, or nil for
+// indirect calls through variables and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usesContext reports whether any expression under n has type
+// context.Context — a ctx identifier, a field of that type, a call
+// returning one, or the receiver of ctx.Err()/ctx.Done().
+func usesContext(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[expr]; ok && tv.Type != nil && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

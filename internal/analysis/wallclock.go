@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallclockScope is the set of kernel packages whose hot loops must take
+// time through the telemetry clock (telemetry.Now / telemetry.Since), so a
+// Recorder that carries a fake clock makes kernel phase samples — and with
+// them the simulated figures — bit-deterministic end to end.
+var wallclockScope = []string{"bfs", "coloring", "irregular"}
+
+// Wallclock flags direct time.Now and time.Since calls inside the kernel
+// packages. Kernels must route timestamps through the Recorder's clock
+// hook (telemetry.Now/Since), which the Nop path skips entirely and a
+// test clock can make deterministic.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "kernel packages (internal/bfs, internal/coloring, internal/irregular) must not read the wall clock directly; " +
+		"take time via telemetry.Now/telemetry.Since so instrumented runs can be made deterministic",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	if !inScope(pass.PkgPath, wallclockScope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			for _, name := range []string{"Now", "Since"} {
+				if isPkgFunc(fn, "time", name) {
+					pass.Reportf(call.Pos(), "direct time.%s call in kernel package: use telemetry.%s(rec, ...) so the phase clock is injectable", name, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

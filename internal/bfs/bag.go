@@ -245,7 +245,7 @@ func BagCilkCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.P
 		var levelStart time.Time
 		if telemetry.Active(rec) {
 			edges = bagEdges(g, cur)
-			levelStart = time.Now()
+			levelStart = telemetry.Now(rec)
 		}
 		err := cur.WalkCtx(ctx, pool, func(c *sched.Ctx, items []int32) {
 			bb := &builders[c.Worker()]
@@ -265,7 +265,7 @@ func BagCilkCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.P
 				claims += builders[i].count
 			}
 			s := levelSample(lv-1, levelProcessed.Load(), edges, claims)
-			s.Duration = time.Since(levelStart)
+			s.Duration = telemetry.Since(rec, levelStart)
 			rec.Record(s)
 		}
 		if err != nil {

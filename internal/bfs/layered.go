@@ -166,7 +166,7 @@ func BlockTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched
 		var levelStart time.Time
 		if telemetry.Active(rec) {
 			edges = frontierEdges(g, main, spill)
-			levelStart = time.Now()
+			levelStart = telemetry.Now(rec)
 		}
 		for w := range writers {
 			writers[w] = qp.next.NewWriter()
@@ -189,7 +189,7 @@ func BlockTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched
 		if telemetry.Active(rec) {
 			nm, ns := qp.next.Entries()
 			s := levelSample(lv-1, levelProcessed, edges, frontierCount(nm, ns))
-			s.Duration = time.Since(levelStart)
+			s.Duration = telemetry.Since(rec, levelStart)
 			rec.Record(s)
 		}
 		if err != nil {
@@ -246,7 +246,7 @@ func BlockTBBCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.
 		var levelStart time.Time
 		if telemetry.Active(rec) {
 			edges = frontierEdges(g, main, spill)
-			levelStart = time.Now()
+			levelStart = telemetry.Now(rec)
 		}
 		for w := range writers {
 			writers[w] = qp.next.NewWriter()
@@ -268,7 +268,7 @@ func BlockTBBCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.
 		if telemetry.Active(rec) {
 			nm, ns := qp.next.Entries()
 			s := levelSample(lv-1, levelProcessed, edges, frontierCount(nm, ns))
-			s.Duration = time.Since(levelStart)
+			s.Duration = telemetry.Since(rec, levelStart)
 			rec.Record(s)
 		}
 		if err != nil {

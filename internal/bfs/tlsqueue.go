@@ -52,7 +52,7 @@ func TLSTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.T
 		var levelStart time.Time
 		if telemetry.Active(rec) {
 			edges = sliceEdges(g, cur)
-			levelStart = time.Now()
+			levelStart = telemetry.Now(rec)
 		}
 		for w := range locals {
 			locals[w] = locals[w][:0]
@@ -90,7 +90,7 @@ func TLSTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.T
 		}
 		if telemetry.Active(rec) {
 			s := levelSample(lv-1, int64(len(curSnapshot)), edges, int64(len(next)))
-			s.Duration = time.Since(levelStart)
+			s.Duration = telemetry.Since(rec, levelStart)
 			rec.Record(s)
 		}
 		cur, next = next, cur

@@ -74,9 +74,10 @@ func appendConflict(next []int32, count *atomic.Int64, v int32) {
 // roundSample builds the PhaseSample for one completed speculative-coloring
 // round: visit held the vertices (re)colored this round, whose adjacency
 // edges were examined twice (tentative + conflict detection), and conflicts
-// of them were queued for the next round. Telemetry-only path.
-func roundSample(g *graph.Graph, round int, visit []int32, conflicts int, start time.Time) telemetry.PhaseSample {
-	dur := time.Since(start)
+// of them were queued for the next round. Telemetry-only path; time comes
+// from rec's clock so instrumented runs can be made deterministic.
+func roundSample(rec telemetry.Recorder, g *graph.Graph, round int, visit []int32, conflicts int, start time.Time) telemetry.PhaseSample {
+	dur := telemetry.Since(rec, start)
 	var edges int64
 	for _, v := range visit {
 		edges += int64(g.Degree(v))
@@ -118,7 +119,7 @@ func ColorTeamCtx(ctx context.Context, g *graph.Graph, team *sched.Team, opts sc
 		res.Rounds++
 		var roundStart time.Time
 		if telemetry.Active(rec) {
-			roundStart = time.Now()
+			roundStart = telemetry.Now(rec)
 		}
 		// Tentative coloring (Algorithm 3) with per-worker local maxima,
 		// reduced by the main goroutine afterwards.
@@ -158,7 +159,7 @@ func ColorTeamCtx(ctx context.Context, g *graph.Graph, team *sched.Team, opts sc
 			return res, err
 		}
 		if telemetry.Active(rec) {
-			rec.Record(roundSample(g, res.Rounds-1, visit, int(count.Load()), roundStart))
+			rec.Record(roundSample(rec, g, res.Rounds-1, visit, int(count.Load()), roundStart))
 		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))
@@ -228,7 +229,7 @@ func ColorCilkCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, grain i
 		vs := visit
 		var roundStart time.Time
 		if telemetry.Active(rec) {
-			roundStart = time.Now()
+			roundStart = telemetry.Now(rec)
 		}
 		err := pool.ParallelForCtx(ctx, len(vs), grain, func(lo, hi int, c *sched.Ctx) {
 			fc := fcView(c)
@@ -259,7 +260,7 @@ func ColorCilkCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, grain i
 			return res, err
 		}
 		if telemetry.Active(rec) {
-			rec.Record(roundSample(g, res.Rounds-1, vs, int(count.Load()), roundStart))
+			rec.Record(roundSample(rec, g, res.Rounds-1, vs, int(count.Load()), roundStart))
 		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))
@@ -307,7 +308,7 @@ func ColorTBBCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, part sch
 		vs := visit
 		var roundStart time.Time
 		if telemetry.Active(rec) {
-			roundStart = time.Now()
+			roundStart = telemetry.Now(rec)
 		}
 		err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
 			func(lo, hi int, c *sched.Ctx) {
@@ -339,7 +340,7 @@ func ColorTBBCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, part sch
 			return res, err
 		}
 		if telemetry.Active(rec) {
-			rec.Record(roundSample(g, res.Rounds-1, vs, int(count.Load()), roundStart))
+			rec.Record(roundSample(rec, g, res.Rounds-1, vs, int(count.Load()), roundStart))
 		}
 		visit = next[:count.Load()]
 		res.Conflicts = append(res.Conflicts, len(visit))

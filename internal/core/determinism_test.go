@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"micgraph/internal/mic"
+)
+
+// TestOutputByteDeterminism: regenerating a simulated figure and
+// serializing it — JSON and SVG — must produce byte-identical output on
+// every run. This is the output-path contract the simdeterminism analyzer
+// protects (no map-ordered emission, no wall-clock dependence in the
+// simulator), asserted end to end.
+func TestOutputByteDeterminism(t *testing.T) {
+	s := sharedSuite(t)
+	render := func() ([]byte, []byte) {
+		e := Fig1a(s, mic.KNF())
+		var j, svg bytes.Buffer
+		if err := WriteJSON(&j, []*Experiment{e}); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSVG(&svg, e); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), svg.Bytes()
+	}
+	j1, s1 := render()
+	j2, s2 := render()
+	if !bytes.Equal(j1, j2) {
+		t.Error("WriteJSON output differs between identical simulated runs")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("WriteSVG output differs between identical simulated runs")
+	}
+	if len(j1) == 0 || len(s1) == 0 {
+		t.Fatal("empty serialized output")
+	}
+}

@@ -1,0 +1,42 @@
+package irregular
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"micgraph/internal/gen"
+	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
+)
+
+// TestKernelSampleBitDeterministic: the irregular kernel's single phase
+// sample must be identical across instrumented runs under a fake clock —
+// the wallclock analyzer guarantees no hidden time.Now remains.
+func TestKernelSampleBitDeterministic(t *testing.T) {
+	g := gen.RingOfCliques(30, 5)
+	in := InitialState(g.NumVertices())
+	run := func() []telemetry.PhaseSample {
+		tick := int64(0)
+		fake := func() time.Time {
+			tick++
+			return time.Unix(0, tick*1000)
+		}
+		team := sched.NewTeam(1)
+		defer team.Close()
+		rec := telemetry.NewMemRecorder()
+		ctx := telemetry.WithRecorder(context.Background(), telemetry.WithClock(rec, fake))
+		if _, err := TeamCtx(ctx, g, in, 3, team, sched.ForOptions{Policy: sched.Static}); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Samples()
+	}
+	a, b := run(), run()
+	if len(a) != 1 {
+		t.Fatalf("want exactly one kernel sample, got %d", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("instrumented runs differ:\n%v\n%v", a, b)
+	}
+}

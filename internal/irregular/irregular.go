@@ -23,13 +23,10 @@ import (
 	"micgraph/internal/telemetry"
 )
 
-// kernelStart returns the wall-clock start for telemetry, or the zero time
-// when no Recorder is active (the uninstrumented default path).
+// kernelStart returns the phase-clock start for telemetry, or the zero
+// time when no Recorder is active (the uninstrumented default path).
 func kernelStart(rec telemetry.Recorder) time.Time {
-	if telemetry.Active(rec) {
-		return time.Now()
-	}
-	return time.Time{}
+	return telemetry.Now(rec)
 }
 
 // recordKernel emits the single PhaseSample of one kernel application:
@@ -41,7 +38,7 @@ func recordKernel(rec telemetry.Recorder, g *graph.Graph, iter int, start time.T
 	rec.Record(telemetry.PhaseSample{
 		Kernel: "irregular", Phase: "update",
 		Items: int64(g.NumVertices()), Edges: g.NumArcs() * int64(iter),
-		Duration: time.Since(start),
+		Duration: telemetry.Since(rec, start),
 	})
 }
 

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClockNopPath: the uninstrumented path must not read any clock and
+// must return zero values.
+func TestClockNopPath(t *testing.T) {
+	if !Now(Nop).IsZero() || !Now(nil).IsZero() {
+		t.Error("Now on inactive recorder must return the zero time")
+	}
+	if Since(Nop, time.Unix(0, 0)) != 0 || Since(nil, time.Unix(0, 0)) != 0 {
+		t.Error("Since on inactive recorder must return 0")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = Now(Nop)
+		_ = Since(Nop, time.Time{})
+	})
+	if allocs != 0 {
+		t.Errorf("Nop clock path allocates %v per run", allocs)
+	}
+}
+
+// TestClockDefaultsToWallClock: an active recorder without its own Clock
+// falls back to real time.
+func TestClockDefaultsToWallClock(t *testing.T) {
+	rec := NewMemRecorder()
+	before := time.Now()
+	got := Now(rec)
+	if got.Before(before) {
+		t.Errorf("Now(rec) = %v, before the wall clock %v", got, before)
+	}
+	if d := Since(rec, before); d < 0 {
+		t.Errorf("Since(rec) = %v, want >= 0", d)
+	}
+}
+
+// TestWithClock: a recorder wrapped with a fake clock yields exactly the
+// fake's timestamps and still records.
+func TestWithClock(t *testing.T) {
+	tick := 0
+	fake := func() time.Time {
+		tick++
+		return time.Unix(0, int64(tick)*1000)
+	}
+	mem := NewMemRecorder()
+	rec := WithClock(mem, fake)
+
+	start := Now(rec)
+	if start != time.Unix(0, 1000) {
+		t.Errorf("first Now = %v, want fake tick 1", start)
+	}
+	if d := Since(rec, start); d != 1000 {
+		t.Errorf("Since = %v, want 1000ns (one fake tick)", d)
+	}
+	rec.Record(PhaseSample{Kernel: "k", Phase: "p"})
+	if mem.Len() != 1 {
+		t.Errorf("wrapped recorder did not pass Record through (len=%d)", mem.Len())
+	}
+	if !Active(rec) {
+		t.Error("clock-wrapped recorder must stay active")
+	}
+}
+
+// TestWithClockNilArgs: nil recorder normalizes to Nop; nil clock is a
+// no-op wrap.
+func TestWithClockNilArgs(t *testing.T) {
+	if rec := WithClock(nil, nil); rec != Nop {
+		t.Errorf("WithClock(nil, nil) = %v, want Nop", rec)
+	}
+	mem := NewMemRecorder()
+	if rec := WithClock(mem, nil); rec != Recorder(mem) {
+		t.Error("WithClock(rec, nil) must return rec unchanged")
+	}
+}

@@ -45,6 +45,63 @@ var Nop Recorder = nopRecorder{}
 // uninstrumented path.
 func Active(r Recorder) bool { return r != nil && r != Nop }
 
+// Clock is optionally implemented by a Recorder to supply the time source
+// for kernel phase timing. Kernels never call time.Now directly (the
+// wallclock analyzer in internal/analysis enforces this); they take time
+// via Now/Since below, so a Recorder carrying a fake clock makes the
+// recorded phase durations — and with them instrumented simulator output —
+// bit-deterministic.
+type Clock interface {
+	Now() time.Time
+}
+
+// Now returns the phase timestamp for rec: rec's own clock when it
+// implements Clock, the wall clock when rec actively records, and the
+// zero time otherwise. The Nop path performs no clock read and no
+// allocation.
+func Now(rec Recorder) time.Time {
+	if !Active(rec) {
+		return time.Time{}
+	}
+	if c, ok := rec.(Clock); ok {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Since returns the phase time elapsed since start per rec's clock,
+// following the same rules as Now.
+func Since(rec Recorder, start time.Time) time.Duration {
+	if !Active(rec) {
+		return 0
+	}
+	if c, ok := rec.(Clock); ok {
+		return c.Now().Sub(start)
+	}
+	return time.Since(start)
+}
+
+// clockRecorder bolts a clock onto an existing Recorder.
+type clockRecorder struct {
+	Recorder
+	now func() time.Time
+}
+
+func (c clockRecorder) Now() time.Time { return c.now() }
+
+// WithClock returns a Recorder that records to rec while serving now as
+// the kernels' phase clock — the deterministic-timing hook used by tests
+// and simulated runs. A nil now leaves rec's own clock behavior intact.
+func WithClock(rec Recorder, now func() time.Time) Recorder {
+	if rec == nil {
+		rec = Nop
+	}
+	if now == nil {
+		return rec
+	}
+	return clockRecorder{Recorder: rec, now: now}
+}
+
 // recorderKey is the context key carrying the run's Recorder.
 type recorderKey struct{}
 
