@@ -10,7 +10,11 @@
 //	curl -s localhost:8377/metricsz
 //
 // SIGTERM/SIGINT drain gracefully: admission stops (new submits get 503),
-// every admitted job runs to completion, then the process exits 0.
+// queued-but-unstarted jobs are cancelled (each streams a terminal error
+// line — no accepted job ever vanishes silently), in-flight jobs run to
+// completion, then the process exits 0. Cancelling the queued tail keeps
+// the drain bounded by the jobs already executing, so a full queue cannot
+// push shutdown past -drain-timeout.
 package main
 
 import (
@@ -46,6 +50,7 @@ func main() {
 		stallRate  = flag.Float64("fault-stall-rate", 0, "fault injection: probability a scheduler boundary stalls")
 		stallFor   = flag.Duration("fault-stall", 10*time.Millisecond, "fault injection: stall duration")
 		readRate   = flag.Float64("fault-read-rate", 0, "fault injection: probability a graph-file read errors")
+		writeRate  = flag.Float64("fault-write-rate", 0, "fault injection: probability a graph-file write (export jobs) errors")
 		stragRate  = flag.Float64("straggler-rate", 0, "fault injection: probability each simulated MIC core straggles")
 		stragSlow  = flag.Float64("straggler-slow", 0.5, "fault injection: slowdown fraction of a straggling core")
 		machineCfg = flag.String("machine", "", "JSON file overriding the KNF machine description (see mic.SaveMachine)")
@@ -77,7 +82,7 @@ func main() {
 	}
 
 	var in *fault.Injector
-	if *panicRate > 0 || *stallRate > 0 || *readRate > 0 || *stragRate > 0 {
+	if *panicRate > 0 || *stallRate > 0 || *readRate > 0 || *writeRate > 0 || *stragRate > 0 {
 		in = fault.New(*faultSeed)
 		if *panicRate > 0 {
 			in.Enable("team/chunk/panic", *panicRate).Enable("pool/task/panic", *panicRate)
@@ -87,6 +92,9 @@ func main() {
 		}
 		if *readRate > 0 {
 			in.Enable("graphio/read/err", *readRate)
+		}
+		if *writeRate > 0 {
+			in.Enable("graphio/write/err", *writeRate)
 		}
 		if *stragRate > 0 {
 			in.Enable("mic/straggler", *stragRate).SetParam("mic/straggler", *stragSlow)

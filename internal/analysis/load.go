@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -128,7 +129,10 @@ func (l *loader) check(path string) (*Package, error) {
 	return pkg, nil
 }
 
-// goFilesIn lists the non-test Go files of dir in sorted order.
+// goFilesIn lists the non-test Go files of dir in sorted order, honouring
+// build constraints (//go:build lines and GOOS/GOARCH filename suffixes)
+// against the default build context — otherwise a tag-gated file pair like
+// race_on.go/race_off.go would type-check as a redeclaration.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -138,6 +142,9 @@ func goFilesIn(dir string) ([]string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

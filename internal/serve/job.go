@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"micgraph/internal/core"
+	"micgraph/internal/graphio"
 )
 
 // Job kinds accepted by POST /jobs.
@@ -15,6 +16,7 @@ const (
 	KindColoring  = "coloring"  // one speculative coloring run
 	KindIrregular = "irregular" // the micbench irregular kernel
 	KindSweep     = "sweep"     // experiment sweeps (core.RunMany)
+	KindExport    = "export"    // serialise a loaded graph to a file on the daemon host
 )
 
 // GraphSpec names the input graph of a kernel job: either a file path on
@@ -51,6 +53,13 @@ type JobSpec struct {
 	SweepScale  int      `json:"sweep_scale,omitempty"`
 	Retries     int      `json:"retries,omitempty"` // bounded retries per sweep cell
 
+	// Export options: destination path on the daemon's filesystem and
+	// serialization format ("mtx", "bin" or "el"; default by extension).
+	// The write is atomic (graphio.WriteFile): a failed or fault-injected
+	// export leaves the destination untouched, never truncated.
+	Output string `json:"output,omitempty"`
+	Format string `json:"format,omitempty"`
+
 	// TimeoutMS bounds the job's run time (0 = the server default). The
 	// server clamps it to its configured maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -80,6 +89,21 @@ func (sp *JobSpec) normalize() error {
 		if sp.Iters <= 0 {
 			sp.Iters = 5
 		}
+	case KindExport:
+		if sp.Graph.File == "" && sp.Graph.Suite == "" {
+			return fmt.Errorf("serve: export job needs graph.file or graph.suite")
+		}
+		if sp.Graph.Scale <= 0 {
+			sp.Graph.Scale = 4
+		}
+		if sp.Output == "" {
+			return fmt.Errorf("serve: export job needs an output path")
+		}
+		if sp.Format != "" {
+			if _, err := graphio.ParseFormat(sp.Format); err != nil {
+				return err
+			}
+		}
 	case KindSweep:
 		if sp.SweepScale <= 0 {
 			sp.SweepScale = 4
@@ -94,7 +118,7 @@ func (sp *JobSpec) normalize() error {
 			}
 		}
 	case "":
-		return fmt.Errorf("serve: job spec needs a kind (bfs, coloring, irregular, sweep)")
+		return fmt.Errorf("serve: job spec needs a kind (bfs, coloring, irregular, sweep, export)")
 	default:
 		return fmt.Errorf("serve: unknown job kind %q", sp.Kind)
 	}

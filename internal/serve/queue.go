@@ -103,16 +103,25 @@ func (q *Queue) Draining() bool {
 	return q.draining
 }
 
-// Drain stops admission and waits until every admitted job has finished,
-// or until ctx is cancelled (the workers keep draining in the background in
-// that case; the caller is abandoning the wait, not the jobs).
-func (q *Queue) Drain(ctx context.Context) error {
+// BeginDrain stops admission: every later Submit fails with ErrDraining.
+// Idempotent. Splitting this from AwaitDrain lets the server cancel
+// queued-but-unstarted jobs *after* admission has stopped (so none can
+// slip in behind the cancellation sweep) and *before* waiting, keeping
+// the drain wait bounded by the jobs already in flight.
+func (q *Queue) BeginDrain() {
 	q.mu.Lock()
 	if !q.draining {
 		q.draining = true
 		close(q.jobs)
 	}
 	q.mu.Unlock()
+}
+
+// AwaitDrain waits until every admitted job has been handed to a worker
+// and finished, or until ctx is cancelled (the workers keep draining in
+// the background in that case; the caller is abandoning the wait, not the
+// jobs). Call BeginDrain first.
+func (q *Queue) AwaitDrain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		q.wg.Wait()
@@ -124,6 +133,13 @@ func (q *Queue) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Drain stops admission and waits until every admitted job has finished
+// (BeginDrain + AwaitDrain).
+func (q *Queue) Drain(ctx context.Context) error {
+	q.BeginDrain()
+	return q.AwaitDrain(ctx)
 }
 
 // Stats snapshots the queue counters.

@@ -97,9 +97,62 @@ func (s *Server) runJob(ctx context.Context, w int, j *Job) (err error) {
 	switch j.Spec.Kind {
 	case KindSweep:
 		return s.runSweep(ctx, j)
+	case KindExport:
+		return s.runExport(ctx, j)
 	default:
 		return s.runKernel(ctx, w, j)
 	}
+}
+
+// exportLine is the "result" record of an export job.
+type exportLine struct {
+	Type     string `json:"type"` // "result"
+	Kind     string `json:"kind"` // "export"
+	Graph    string `json:"graph"`
+	Output   string `json:"output"`
+	Format   string `json:"format"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+}
+
+// runExport loads the job's graph through the cache and serialises it to
+// the requested path. The write goes through graphio.WriteFileInjected, so
+// the daemon's injector (-fault-write-rate) exercises the atomic-replace
+// failure path: a fault-injected export fails the job and leaves the
+// destination untouched — either its previous contents or the complete new
+// serialization, never a truncated file.
+func (s *Server) runExport(ctx context.Context, j *Job) error {
+	g, err := s.loadGraph(ctx, j.Spec.Graph)
+	if err != nil {
+		return err
+	}
+	format := graphio.DetectFormat(j.Spec.Output)
+	name := j.Spec.Format
+	if name != "" {
+		if format, err = graphio.ParseFormat(name); err != nil {
+			return err // unreachable; normalize() validated it
+		}
+	} else {
+		switch format {
+		case graphio.Binary:
+			name = "bin"
+		case graphio.EdgeList:
+			name = "el"
+		default:
+			name = "mtx"
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := graphio.WriteFileInjected(j.Spec.Output, g, format, s.cfg.Injector); err != nil {
+		return err
+	}
+	return j.Result.WriteLine(exportLine{
+		Type: "result", Kind: KindExport, Graph: g.String(),
+		Output: j.Spec.Output, Format: name,
+		Vertices: g.NumVertices(), Edges: g.NumEdges(),
+	})
 }
 
 // loadGraph fetches the job's graph through the cache; concurrent jobs on

@@ -101,10 +101,11 @@ type Server struct {
 	rts      []*workerRT
 	started  time.Time
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string // insertion order, for retention trimming
-	seq   int64
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order, for retention trimming
+	seq    int64
+	totals JobTotals // monotonic lifetime accounting, all mutated under mu
 
 	// hookExec is a test seam: when set and it returns true, runJob skips
 	// normal execution (the hook "ran" the job). Lets tests hold a worker
@@ -141,6 +142,44 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// JobTotals is the lifetime job accounting exported as "jobs_total" by
+// /metricsz. Every field is monotonic except InFlight, which is derived
+// (Accepted minus terminal) inside the same critical section as every
+// mutation, so each snapshot satisfies the conservation law exactly:
+//
+//	Submitted == Rejected + Succeeded + Failed + Cancelled + InFlight
+//
+// regardless of how many submits, cancels and completions are racing.
+// Unlike the "jobs" by-status map (which counts only *retained* jobs and
+// shrinks as retention trims old terminal jobs), these totals never
+// forget, which is what lets a black-box oracle check that no accepted
+// job ever vanishes without reaching a terminal status.
+type JobTotals struct {
+	// Submitted counts every POST /jobs attempt, accepted or not.
+	Submitted int64 `json:"submitted"`
+	// Rejected counts submits that were not admitted: validation
+	// failures, queue-full 429s and draining 503s.
+	Rejected int64 `json:"rejected"`
+	// Accepted = Submitted - Rejected: jobs the daemon owes a terminal
+	// status.
+	Accepted  int64 `json:"accepted"`
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	// InFlight is Accepted minus the terminal counts: jobs currently
+	// queued or running. Zero once the daemon is idle or drained.
+	InFlight int64 `json:"in_flight"`
+}
+
+// Totals snapshots the lifetime job accounting coherently.
+func (s *Server) Totals() JobTotals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.totals
+	t.InFlight = t.Accepted - t.Succeeded - t.Failed - t.Cancelled
+	return t
+}
+
 // Cache exposes the graph cache (stats, invalidation).
 func (s *Server) Cache() *Cache { return s.cache }
 
@@ -152,17 +191,34 @@ func (s *Server) Queue() *Queue { return s.queue }
 // error).
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.normalize(); err != nil {
+		s.mu.Lock()
+		s.totals.Submitted++
+		s.totals.Rejected++
+		s.mu.Unlock()
 		return nil, err
 	}
+	// Count the job accepted *before* handing it to the queue: a worker may
+	// pick it up and finish it before queue.Submit even returns, and the
+	// terminal counters must never run ahead of Accepted (that would make a
+	// /metricsz snapshot show negative in-flight and break conservation).
+	// A queue rejection rolls the provisional acceptance back into Rejected
+	// in one critical section, so no snapshot ever sees the attempt
+	// unaccounted.
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
+	s.totals.Submitted++
+	s.totals.Accepted++
 	s.mu.Unlock()
 
 	j := newJob(id, spec)
 	s.register(j)
 	if err := s.queue.Submit(j); err != nil {
 		s.unregister(id)
+		s.mu.Lock()
+		s.totals.Accepted--
+		s.totals.Rejected++
+		s.mu.Unlock()
 		return nil, err
 	}
 	return j, nil
@@ -233,20 +289,63 @@ func (s *Server) exec(w int, j *Job) {
 	err := s.runJob(ctx, w, j)
 	switch {
 	case err == nil:
-		j.finish(StatusSucceeded, "")
+		s.finish(j, StatusSucceeded, "")
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		j.Result.WriteLine(map[string]string{"type": "error", "error": err.Error()})
-		j.finish(StatusCancelled, err.Error())
+		s.finish(j, StatusCancelled, err.Error())
 	default:
 		j.Result.WriteLine(map[string]string{"type": "error", "error": err.Error()})
-		j.finish(StatusFailed, err.Error())
+		s.finish(j, StatusFailed, err.Error())
 	}
 }
 
-// Drain stops admission and waits for every admitted job, then shuts the
-// worker runtimes down. Used by SIGTERM handling and tests.
+// finish moves j to a terminal status and books it into the lifetime
+// totals. Every accepted job passes through here exactly once (exec is the
+// only caller and each job is executed by exactly one worker), so the
+// terminal counters tile Accepted exactly.
+func (s *Server) finish(j *Job, status, errMsg string) {
+	j.finish(status, errMsg)
+	s.mu.Lock()
+	switch status {
+	case StatusSucceeded:
+		s.totals.Succeeded++
+	case StatusFailed:
+		s.totals.Failed++
+	case StatusCancelled:
+		s.totals.Cancelled++
+	}
+	s.mu.Unlock()
+}
+
+// Drain shuts the serving path down without losing track of a single
+// accepted job: admission stops (new submits get 503), queued-but-unstarted
+// jobs are cancelled so each streams a terminal error line and counts into
+// the cancelled total, in-flight jobs run to completion, and once
+// everything admitted is terminal the worker runtimes are shut down.
+// Cancelling the queued tail (rather than running it) is what bounds the
+// drain wait by the jobs already executing — a full queue behind a slow
+// job can no longer push a SIGTERM drain past its deadline, and no
+// accepted job ever vanishes without a terminal status. Used by SIGTERM
+// handling and tests.
 func (s *Server) Drain(ctx context.Context) error {
-	err := s.queue.Drain(ctx)
+	s.queue.BeginDrain()
+	// Admission is now closed, so the set of queued jobs can only shrink:
+	// cancel everything still waiting for a worker. A job that a worker
+	// grabs between the status check and the cancel just runs (or observes
+	// the cancelled context and finishes cancelled) — either way it reaches
+	// a terminal status and is counted.
+	s.mu.Lock()
+	queued := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.Status() == StatusQueued {
+			queued = append(queued, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.Cancel()
+	}
+	err := s.queue.AwaitDrain(ctx)
 	if err == nil {
 		for _, rt := range s.rts {
 			rt.close()
@@ -382,5 +481,6 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		"cache":          s.cache.Stats(),
 		"queue":          s.queue.Stats(),
 		"jobs":           byStatus,
+		"jobs_total":     s.Totals(),
 	})
 }

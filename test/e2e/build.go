@@ -1,0 +1,69 @@
+package e2e
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// The binary is built once per test process and shared by every test; the
+// go build cache makes repeated test runs (and the CI smoke job) cheap.
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+	buildLog  string
+)
+
+// servedBinary compiles cmd/micserved (with -race when the oracle itself
+// runs under the race detector) and returns the binary path.
+func servedBinary(t tb) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "micserved-e2e-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "micserved")
+		args := []string{"build"}
+		if raceEnabled {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", buildBin, "micgraph/cmd/micserved")
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		buildLog = string(out)
+		buildErr = err
+	})
+	if buildErr != nil {
+		t.Fatalf("building micserved: %v\n%s", buildErr, buildLog)
+	}
+	return buildBin
+}
+
+// moduleRoot walks up from the working directory (the package directory
+// under `go test`) to the directory holding go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,13 @@
+package e2e
+
+import "testing"
+
+// TestChaosSmoke is the CI tier: a short seeded fuzz of the real micserved
+// binary with every fault family armed. The full script is logged up front,
+// so a red run is reproducible with the exact command printed here; longer
+// local soaks just raise -chaos.actions (and vary -chaos.seed).
+func TestChaosSmoke(t *testing.T) {
+	t.Logf("reproduce: go test ./test/e2e/ -run TestChaosSmoke -args -chaos.actions=%d -chaos.seed=%d",
+		*chaosActions, *chaosSeed)
+	runChaos(t, *chaosSeed, *chaosActions)
+}

@@ -1,0 +1,217 @@
+package e2e
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// daemonConfig is the micserved command line the supervisor starts. Fault
+// rates of zero leave the corresponding -fault-* flag off.
+type daemonConfig struct {
+	workers       int
+	kernelWorkers int
+	queueDepth    int
+	jobTimeout    time.Duration
+	drainTimeout  time.Duration
+
+	faultSeed     uint64
+	panicRate     float64
+	stallRate     float64
+	stall         time.Duration
+	readRate      float64
+	writeRate     float64
+	stragglerRate float64
+}
+
+func (c daemonConfig) args(addr string) []string {
+	a := []string{
+		"-addr", addr,
+		"-workers", fmt.Sprint(c.workers),
+		"-kernel-workers", fmt.Sprint(c.kernelWorkers),
+		"-queue", fmt.Sprint(c.queueDepth),
+		"-job-timeout", c.jobTimeout.String(),
+		"-drain-timeout", c.drainTimeout.String(),
+		"-fault-seed", fmt.Sprint(c.faultSeed),
+	}
+	if c.panicRate > 0 {
+		a = append(a, "-fault-panic-rate", fmt.Sprint(c.panicRate))
+	}
+	if c.stallRate > 0 {
+		a = append(a, "-fault-stall-rate", fmt.Sprint(c.stallRate), "-fault-stall", c.stall.String())
+	}
+	if c.readRate > 0 {
+		a = append(a, "-fault-read-rate", fmt.Sprint(c.readRate))
+	}
+	if c.writeRate > 0 {
+		a = append(a, "-fault-write-rate", fmt.Sprint(c.writeRate))
+	}
+	if c.stragglerRate > 0 {
+		a = append(a, "-straggler-rate", fmt.Sprint(c.stragglerRate))
+	}
+	return a
+}
+
+// daemon supervises one micserved process: it owns the port, captures
+// stderr, reaps the process from a goroutine, and turns "died when not
+// told to" into an invariant violation.
+type daemon struct {
+	t    tb
+	cfg  daemonConfig
+	addr string
+	cmd  *exec.Cmd
+
+	mu         sync.Mutex
+	stderr     strings.Builder
+	expectExit bool
+
+	exited chan struct{} // closed after the process is reaped
+}
+
+// startDaemon builds the command line, starts the process and waits for
+// /healthz. Port collisions (the pick-then-bind window) retry with a fresh
+// port.
+func startDaemon(t tb, bin string, cfg daemonConfig) *daemon {
+	t.Helper()
+	var lastErr string
+	for attempt := 0; attempt < 3; attempt++ {
+		d := &daemon{t: t, cfg: cfg, exited: make(chan struct{})}
+		port, err := freePort()
+		if err != nil {
+			t.Fatalf("picking a port: %v", err)
+		}
+		d.addr = fmt.Sprintf("127.0.0.1:%d", port)
+		d.cmd = exec.Command(bin, cfg.args(d.addr)...)
+		d.cmd.Stderr = &lockedWriter{d: d}
+		d.cmd.Stdout = d.cmd.Stderr
+		if err := d.cmd.Start(); err != nil {
+			t.Fatalf("starting micserved: %v", err)
+		}
+		go func() {
+			d.cmd.Wait()
+			close(d.exited)
+		}()
+		if d.waitHealthy(20 * time.Second) {
+			return d
+		}
+		lastErr = d.stderrText()
+		d.kill()
+	}
+	t.Fatalf("micserved did not become healthy after 3 attempts; last stderr:\n%s", lastErr)
+	return nil
+}
+
+// freePort asks the kernel for an unused TCP port.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port, nil
+}
+
+type lockedWriter struct{ d *daemon }
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
+	w.d.stderr.Write(p)
+	return len(p), nil
+}
+
+func (d *daemon) url() string { return "http://" + d.addr }
+
+func (d *daemon) stderrText() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+// alive reports whether the process has not yet been reaped.
+func (d *daemon) alive() bool {
+	select {
+	case <-d.exited:
+		return false
+	default:
+		return true
+	}
+}
+
+// waitHealthy polls /healthz until it answers 200, the deadline passes, or
+// the process dies.
+func (d *daemon) waitHealthy(within time.Duration) bool {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if !d.alive() {
+			return false
+		}
+		resp, err := hc.Get(d.url() + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return true
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return false
+}
+
+// checkAlive is the "daemon never dies except when told" invariant, plus
+// the race-detector and runtime-crash scans of everything the process has
+// written so far.
+func (d *daemon) checkAlive() {
+	d.t.Helper()
+	d.mu.Lock()
+	expected := d.expectExit
+	d.mu.Unlock()
+	if !d.alive() && !expected {
+		d.t.Fatalf("INVARIANT daemon-alive: micserved died unasked; stderr:\n%s", d.stderrText())
+	}
+	out := d.stderrText()
+	for _, marker := range []string{"DATA RACE", "fatal error:"} {
+		if strings.Contains(out, marker) {
+			d.t.Fatalf("INVARIANT daemon-clean: %q in micserved output:\n%s", marker, out)
+		}
+	}
+}
+
+// terminate sends SIGTERM and enforces the drain invariant: the process
+// must exit 0 within the drain timeout plus scheduling slack. Returns the
+// captured output for further checks.
+func (d *daemon) terminate() string {
+	d.t.Helper()
+	d.mu.Lock()
+	d.expectExit = true
+	d.mu.Unlock()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case <-d.exited:
+	case <-time.After(d.cfg.drainTimeout + 15*time.Second):
+		d.kill()
+		d.t.Fatalf("INVARIANT drain-bounded: micserved still running %s after SIGTERM (drain-timeout %s); stderr:\n%s",
+			d.cfg.drainTimeout+15*time.Second, d.cfg.drainTimeout, d.stderrText())
+	}
+	if code := d.cmd.ProcessState.ExitCode(); code != 0 {
+		d.t.Fatalf("INVARIANT drain-clean: micserved exited %d after SIGTERM; stderr:\n%s", code, d.stderrText())
+	}
+	return d.stderrText()
+}
+
+// kill hard-stops the process (cleanup only; never part of an invariant).
+func (d *daemon) kill() {
+	if d.alive() {
+		d.cmd.Process.Kill()
+		<-d.exited
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package e2e
+
+// raceEnabled is false in plain builds; see race_on.go.
+const raceEnabled = false

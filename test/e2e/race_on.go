@@ -1,0 +1,10 @@
+//go:build race
+
+package e2e
+
+// raceEnabled mirrors the test binary's -race state so the daemon binary is
+// built with the race detector exactly when the oracle itself runs under
+// it: a data race anywhere in the serving path then kills the daemon with
+// a DATA RACE report, which the supervisor treats as a daemon death —
+// an invariant violation.
+const raceEnabled = true
