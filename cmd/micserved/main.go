@@ -44,6 +44,7 @@ func main() {
 		jobTO   = flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline")
 		maxTO   = flag.Duration("max-timeout", 10*time.Minute, "hard cap on per-job deadlines")
 		drainTO = flag.Duration("drain-timeout", time.Minute, "how long to wait for in-flight jobs on shutdown")
+		retryIn = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses (load harnesses tune this down)")
 
 		faultSeed  = flag.Uint64("fault-seed", 1, "fault injection: deterministic injector seed")
 		panicRate  = flag.Float64("fault-panic-rate", 0, "fault injection: probability a scheduler boundary panics")
@@ -110,6 +111,7 @@ func main() {
 		CacheBytes:     *cacheMB << 20,
 		DefaultTimeout: *jobTO,
 		MaxTimeout:     *maxTO,
+		RetryAfter:     *retryIn,
 		Injector:       in,
 		Stall:          *stallFor,
 		KNF:            knf,

@@ -6,9 +6,9 @@ import "time"
 
 // levelLoop reads the wall clock directly — both forms must be flagged.
 func levelLoop() time.Duration {
-	start := time.Now() // want "direct time.Now call in kernel package"
+	start := time.Now() // want "direct time.Now call in clock-disciplined package"
 	var total time.Duration
-	total += time.Since(start) // want "direct time.Since call in kernel package"
+	total += time.Since(start) // want "direct time.Since call in clock-disciplined package"
 	return total
 }
 

@@ -4,20 +4,23 @@ import (
 	"go/ast"
 )
 
-// wallclockScope is the set of kernel packages whose hot loops must take
-// time through the telemetry clock (telemetry.Now / telemetry.Since), so a
-// Recorder that carries a fake clock makes kernel phase samples — and with
-// them the simulated figures — bit-deterministic end to end.
-var wallclockScope = []string{"bfs", "coloring", "irregular"}
+// wallclockScope is the set of packages whose code must take time through
+// an injectable telemetry clock: the kernels (telemetry.Now/Since via the
+// Recorder, so phase samples are bit-deterministic under a fake clock) and
+// the serving/load-generation layers (telemetry.Clock via config, so job
+// latency spans and trace timestamps are deterministic in tests).
+var wallclockScope = []string{"bfs", "coloring", "irregular", "serve", "load"}
 
-// Wallclock flags direct time.Now and time.Since calls inside the kernel
+// Wallclock flags direct time.Now and time.Since calls inside the scoped
 // packages. Kernels must route timestamps through the Recorder's clock
-// hook (telemetry.Now/Since), which the Nop path skips entirely and a
+// hook (telemetry.Now/Since); the serving and load layers through their
+// injected telemetry.Clock — which the Nop path skips entirely and a
 // test clock can make deterministic.
 var Wallclock = &Analyzer{
 	Name: "wallclock",
-	Doc: "kernel packages (internal/bfs, internal/coloring, internal/irregular) must not read the wall clock directly; " +
-		"take time via telemetry.Now/telemetry.Since so instrumented runs can be made deterministic",
+	Doc: "clock-disciplined packages (internal/bfs, internal/coloring, internal/irregular, internal/serve, internal/load) " +
+		"must not read the wall clock directly; take time via telemetry.Now/telemetry.Since or an injected telemetry.Clock " +
+		"so instrumented runs can be made deterministic",
 	Run: runWallclock,
 }
 
@@ -34,7 +37,7 @@ func runWallclock(pass *Pass) error {
 			fn := calleeFunc(pass.Info, call)
 			for _, name := range []string{"Now", "Since"} {
 				if isPkgFunc(fn, "time", name) {
-					pass.Reportf(call.Pos(), "direct time.%s call in kernel package: use telemetry.%s(rec, ...) so the phase clock is injectable", name, name)
+					pass.Reportf(call.Pos(), "direct time.%s call in clock-disciplined package: use telemetry.%s(rec, ...) or an injected telemetry.Clock so the clock is injectable", name, name)
 				}
 			}
 			return true

@@ -1,0 +1,381 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"micgraph/internal/serve"
+	"micgraph/internal/telemetry"
+)
+
+// Config wires a replay run. Zero values take the documented defaults.
+type Config struct {
+	// BaseURL is the daemon under load, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// Clients bounds concurrent in-flight requests (default 64). The
+	// replayer is open-loop: arrivals fire on the trace schedule no matter
+	// how slow the daemon is, and an arrival that finds every client busy
+	// is shed and counted as dropped rather than queued client-side —
+	// queueing belongs to the daemon, where it is measured.
+	Clients int
+	// PollInterval is the job-status poll cadence (default 25ms).
+	PollInterval time.Duration
+	// Grace bounds how long after the last scheduled arrival the replayer
+	// waits for still-running jobs before abandoning them (default 30s).
+	Grace time.Duration
+	// SampleInterval is the /metricsz gauge sampling cadence (default 250ms).
+	SampleInterval time.Duration
+	// Clock is the replayer's time source (default telemetry.System). Every
+	// client-side latency is measured on it.
+	Clock telemetry.Clock
+	// Sleep pauses the dispatch loop (default time.Sleep); injectable so
+	// tests can compress the schedule.
+	Sleep func(time.Duration)
+	// HTTP is the transport (default: a client with no overall timeout —
+	// per-request bounds come from polling and Grace).
+	HTTP *http.Client
+	// Logf, when set, receives coarse progress lines (phase transitions).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 64
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if c.Grace <= 0 {
+		c.Grace = 30 * time.Second
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 250 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = telemetry.System
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// spanNames orders the server span histograms everywhere they appear.
+var spanNames = []string{"queue_wait", "cache_load", "exec", "stream_flush", "total"}
+
+// phaseAcc accumulates one phase's outcomes while the replay runs.
+type phaseAcc struct {
+	mu                                  sync.Mutex
+	scheduled, sent, accepted, rejected int64
+	dropped, errs                       int64
+	succeeded, failed, cancelled        int64
+	latency                             *telemetry.Histogram // scheduled arrival -> terminal
+	service                             *telemetry.Histogram // request sent -> terminal
+	server                              map[string]*telemetry.Histogram
+	queueDepth, running                 []int64
+}
+
+func newPhaseAcc() *phaseAcc {
+	a := &phaseAcc{
+		latency: telemetry.NewHistogram(),
+		service: telemetry.NewHistogram(),
+		server:  make(map[string]*telemetry.Histogram, len(spanNames)),
+	}
+	for _, n := range spanNames {
+		a.server[n] = telemetry.NewHistogram()
+	}
+	return a
+}
+
+// observeSpans folds a terminal job's server-reported latency breakdown
+// into the phase. This is exact per-phase attribution: the spans arrive on
+// the job's own status document, so a job scheduled in the burst phase is
+// counted against the burst phase even if it finishes later.
+func (a *phaseAcc) observeSpans(sp serve.Spans) {
+	a.server["queue_wait"].ObserveNS(sp.QueueNS)
+	a.server["cache_load"].ObserveNS(sp.CacheNS)
+	a.server["exec"].ObserveNS(sp.ExecNS)
+	a.server["stream_flush"].ObserveNS(sp.FlushNS)
+	a.server["total"].ObserveNS(sp.TotalNS)
+}
+
+const maxGaugeSamples = 2000
+
+func (a *phaseAcc) sample(queueDepth, running int64) {
+	a.mu.Lock()
+	if len(a.queueDepth) < maxGaugeSamples {
+		a.queueDepth = append(a.queueDepth, queueDepth)
+		a.running = append(a.running, running)
+	}
+	a.mu.Unlock()
+}
+
+// replayer is one run's shared state.
+type replayer struct {
+	cfg   Config
+	trace *Trace
+	start time.Time
+	accs  []*phaseAcc
+	sem   chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Replay drives the trace against the daemon and aggregates the report.
+// The context aborts the whole run (in-flight pollers included).
+func Replay(ctx context.Context, cfg Config, trace *Trace) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &replayer{
+		cfg:   cfg,
+		trace: trace,
+		accs:  make([]*phaseAcc, len(trace.Phases)),
+		sem:   make(chan struct{}, cfg.Clients),
+	}
+	for i := range r.accs {
+		r.accs[i] = newPhaseAcc()
+	}
+	if _, err := r.scrape(ctx); err != nil {
+		return nil, fmt.Errorf("load: daemon not reachable before replay: %w", err)
+	}
+
+	r.start = cfg.Clock.Now()
+	sampCtx, stopSampler := context.WithCancel(ctx)
+	defer stopSampler()
+	go r.sampleGauges(sampCtx)
+
+	pollCtx, pollCancel := context.WithCancel(ctx)
+	defer pollCancel()
+
+	phase := -1
+	for i := range trace.Requests {
+		req := &trace.Requests[i]
+		if ctx.Err() != nil {
+			break
+		}
+		if req.Phase != phase {
+			phase = req.Phase
+			p := trace.Phases[phase]
+			cfg.Logf("phase %s (%s): %.0f rps for %s", p.Name, p.Kind, p.RPS, p.Duration)
+		}
+		target := r.start.Add(req.OffsetNS)
+		if d := target.Sub(cfg.Clock.Now()); d > 0 {
+			cfg.Sleep(d)
+		}
+		acc := r.accs[req.Phase]
+		acc.mu.Lock()
+		acc.scheduled++
+		acc.mu.Unlock()
+		select {
+		case r.sem <- struct{}{}:
+		default:
+			// Pool exhausted: shed. An open-loop generator never queues
+			// client-side — that would be coordinated omission by stealth.
+			acc.mu.Lock()
+			acc.dropped++
+			acc.mu.Unlock()
+			continue
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer func() { <-r.sem }()
+			r.run(pollCtx, req, target)
+		}()
+	}
+
+	// Bounded tail: give still-running jobs Grace to reach a terminal
+	// status, then abandon the waits (the daemon keeps running them; the
+	// conservation check in CI still accounts for every accepted job).
+	finished := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(cfg.Grace):
+		pollCancel()
+		<-finished
+	case <-ctx.Done():
+		pollCancel()
+		<-finished
+	}
+	stopSampler()
+
+	final, err := r.scrape(context.WithoutCancel(ctx))
+	if err != nil {
+		return nil, fmt.Errorf("load: final metrics scrape: %w", err)
+	}
+	return r.report(final), ctx.Err()
+}
+
+// run executes one request end to end: submit, classify the admission
+// outcome, poll to terminal, record latencies and server spans.
+func (r *replayer) run(ctx context.Context, req *Request, target time.Time) {
+	acc := r.accs[req.Phase]
+	body, err := json.Marshal(req.Spec)
+	if err != nil {
+		panic(err) // specs are synthesized; marshalling cannot fail
+	}
+	sent := r.cfg.Clock.Now()
+	acc.mu.Lock()
+	acc.sent++
+	acc.mu.Unlock()
+
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		r.bump(&acc.errs, acc)
+		return
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := r.cfg.HTTP.Do(httpReq)
+	if err != nil {
+		r.bump(&acc.errs, acc)
+		return
+	}
+	var view serve.JobView
+	decErr := json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		r.bump(&acc.rejected, acc)
+		return
+	case resp.StatusCode != http.StatusAccepted || decErr != nil:
+		r.bump(&acc.errs, acc)
+		return
+	}
+	r.bump(&acc.accepted, acc)
+
+	view, err = r.await(ctx, view.ID)
+	if err != nil {
+		r.bump(&acc.errs, acc)
+		return
+	}
+	now := r.cfg.Clock.Now()
+	acc.mu.Lock()
+	switch view.Status {
+	case serve.StatusSucceeded:
+		acc.succeeded++
+	case serve.StatusFailed:
+		acc.failed++
+	case serve.StatusCancelled:
+		acc.cancelled++
+	}
+	acc.mu.Unlock()
+	// Latency from the *scheduled* arrival, so client-side dispatch delay
+	// counts against the service (no coordinated omission); service time
+	// from the actual send for comparison.
+	acc.latency.Observe(now.Sub(target))
+	acc.service.Observe(now.Sub(sent))
+	if view.Spans != nil {
+		acc.observeSpans(*view.Spans)
+	}
+}
+
+func (r *replayer) bump(field *int64, acc *phaseAcc) {
+	acc.mu.Lock()
+	*field++
+	acc.mu.Unlock()
+}
+
+// await polls the job until it reaches a terminal status or ctx ends.
+func (r *replayer) await(ctx context.Context, id string) (serve.JobView, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return serve.JobView{}, ctx.Err()
+		case <-time.After(r.cfg.PollInterval):
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/jobs/"+id, nil)
+		if err != nil {
+			return serve.JobView{}, err
+		}
+		resp, err := r.cfg.HTTP.Do(req)
+		if err != nil {
+			return serve.JobView{}, err
+		}
+		var view serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return serve.JobView{}, err
+		}
+		switch view.Status {
+		case serve.StatusSucceeded, serve.StatusFailed, serve.StatusCancelled:
+			return view, nil
+		}
+	}
+}
+
+// metricsSnap is the slice of /metricsz the replayer consumes.
+type metricsSnap struct {
+	JobsTotal serve.JobTotals                        `json:"jobs_total"`
+	Queue     serve.QueueStats                       `json:"queue"`
+	Gauges    map[string]int64                       `json:"gauges"`
+	Latency   map[string]telemetry.HistogramSnapshot `json:"latency"`
+}
+
+func (r *replayer) scrape(ctx context.Context) (*metricsSnap, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/metricsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: /metricsz returned %d", resp.StatusCode)
+	}
+	var m metricsSnap
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// sampleGauges records queue depth and in-flight jobs into the phase the
+// sample falls in, at the configured cadence, until ctx ends.
+func (r *replayer) sampleGauges(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(r.cfg.SampleInterval):
+		}
+		m, err := r.scrape(ctx)
+		if err != nil {
+			continue
+		}
+		offset := r.cfg.Clock.Now().Sub(r.start)
+		pi := r.phaseAt(offset)
+		if pi < 0 {
+			continue
+		}
+		r.accs[pi].sample(m.Gauges["queue_depth"], m.Gauges["jobs_running"])
+	}
+}
+
+// phaseAt maps an offset from replay start to a phase index (-1 when past
+// the end of the trace).
+func (r *replayer) phaseAt(offset time.Duration) int {
+	var base time.Duration
+	for i, p := range r.trace.Phases {
+		base += p.Duration
+		if offset < base {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,144 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLORule is one gate of the -slo flag: "[phase:]metric<=value".
+// Latency metrics (p50, p99, p999 — client latency from scheduled
+// arrival) take duration values ("250ms"); rate metrics (drop_rate,
+// reject_rate, error_rate) take fractions ("0.05"). A rule without a
+// phase prefix applies to every phase.
+type SLORule struct {
+	Phase  string  `json:"phase,omitempty"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"` // ns for latency metrics, fraction for rates
+	Text   string  `json:"text"`
+}
+
+var sloMetrics = map[string]bool{
+	"p50": true, "p99": true, "p999": true,
+	"drop_rate": true, "reject_rate": true, "error_rate": true,
+}
+
+// ParseSLOs parses semicolon-separated rules, e.g.
+//
+//	"steady:p99<=250ms;burst:drop_rate<=0.25;error_rate<=0"
+func ParseSLOs(s string) ([]SLORule, error) {
+	var rules []SLORule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lhs, val, ok := strings.Cut(part, "<=")
+		if !ok {
+			return nil, fmt.Errorf("load: slo rule %q has no <= operator", part)
+		}
+		r := SLORule{Text: part, Metric: strings.TrimSpace(lhs)}
+		if phase, metric, ok := strings.Cut(r.Metric, ":"); ok {
+			r.Phase, r.Metric = strings.TrimSpace(phase), strings.TrimSpace(metric)
+		}
+		if !sloMetrics[r.Metric] {
+			return nil, fmt.Errorf("load: unknown slo metric %q (want p50, p99, p999, drop_rate, reject_rate or error_rate)", r.Metric)
+		}
+		val = strings.TrimSpace(val)
+		switch r.Metric {
+		case "p50", "p99", "p999":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("load: slo rule %q: %w", part, err)
+			}
+			r.Value = float64(d)
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("load: slo rule %q: %w", part, err)
+			}
+			r.Value = f
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// SLOResult is one rule's evaluation against one phase.
+type SLOResult struct {
+	Rule     string `json:"rule"`
+	Phase    string `json:"phase"`
+	Passed   bool   `json:"passed"`
+	Observed string `json:"observed"`
+}
+
+// observe extracts a rule's metric from a phase report. A latency rule over
+// a phase with no terminal jobs observes +Inf ("no samples") so it fails
+// rather than passing vacuously on an empty histogram — a daemon that
+// completes nothing must not satisfy a latency SLO.
+func (r SLORule) observe(p PhaseReport) (value float64, rendered string) {
+	if (r.Metric == "p50" || r.Metric == "p99" || r.Metric == "p999") && p.Client.Latency.Count == 0 {
+		return math.Inf(1), "no samples"
+	}
+	switch r.Metric {
+	case "p50":
+		v := p.Client.Latency.P50NS
+		return float64(v), time.Duration(v).String()
+	case "p99":
+		v := p.Client.Latency.P99NS
+		return float64(v), time.Duration(v).String()
+	case "p999":
+		v := p.Client.Latency.P999NS
+		return float64(v), time.Duration(v).String()
+	case "drop_rate":
+		return p.DropRate, fmt.Sprintf("%.4f", p.DropRate)
+	case "reject_rate":
+		return p.RejectRate, fmt.Sprintf("%.4f", p.RejectRate)
+	default: // error_rate
+		return p.ErrorRate, fmt.Sprintf("%.4f", p.ErrorRate)
+	}
+}
+
+// EvaluateSLOs checks every rule against the report's phases and returns
+// one result per (rule, matching phase). A rule naming a phase that does
+// not exist fails explicitly rather than passing vacuously.
+func EvaluateSLOs(rules []SLORule, rep *Report) []SLOResult {
+	var out []SLOResult
+	for _, r := range rules {
+		matched := false
+		for _, p := range rep.Phases {
+			if r.Phase != "" && r.Phase != p.Name {
+				continue
+			}
+			matched = true
+			v, rendered := r.observe(p)
+			out = append(out, SLOResult{
+				Rule:     r.Text,
+				Phase:    p.Name,
+				Passed:   v <= r.Value,
+				Observed: rendered,
+			})
+		}
+		if !matched {
+			out = append(out, SLOResult{
+				Rule:     r.Text,
+				Phase:    r.Phase,
+				Passed:   false,
+				Observed: "no such phase",
+			})
+		}
+	}
+	return out
+}
+
+// SLOsPassed reports whether every result passed.
+func SLOsPassed(results []SLOResult) bool {
+	for _, r := range results {
+		if !r.Passed {
+			return false
+		}
+	}
+	return true
+}

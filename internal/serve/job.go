@@ -8,6 +8,7 @@ import (
 
 	"micgraph/internal/core"
 	"micgraph/internal/graphio"
+	"micgraph/internal/telemetry"
 )
 
 // Job kinds accepted by POST /jobs.
@@ -140,6 +141,24 @@ const (
 	StatusCancelled = "cancelled"
 )
 
+// Spans is a job's latency breakdown, stamped on the server's injected
+// clock and exposed in job status JSON once the job is terminal. QueueNS
+// covers admission to worker pickup; CacheNS, ExecNS and FlushNS are
+// disjoint sub-intervals of the run (graph/suite cache fetch, kernel or
+// sweep execution, result-stream writes); TotalNS covers admission to
+// terminal. Because the sub-spans never overlap and all read one clock,
+//
+//	QueueNS + CacheNS + ExecNS + FlushNS <= TotalNS
+//
+// holds for every job — the invariant the e2e latency-probe asserts.
+type Spans struct {
+	QueueNS int64 `json:"queue_ns"`
+	CacheNS int64 `json:"cache_ns"`
+	ExecNS  int64 `json:"exec_ns"`
+	FlushNS int64 `json:"flush_ns"`
+	TotalNS int64 `json:"total_ns"`
+}
+
 // Job is one admitted unit of work. Result lines stream into Result while
 // the job runs; status transitions are queued -> running -> one of
 // succeeded/failed/cancelled.
@@ -148,29 +167,63 @@ type Job struct {
 	Spec   JobSpec
 	Result *Stream
 
+	clock telemetry.Clock // the server's injected time source
+
 	mu       sync.Mutex
 	status   string
 	err      string
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	spans    Spans
 	ctx      context.Context // job-lifetime context, live from submission
 	cancel   context.CancelFunc
 	done     chan struct{}
 }
 
-func newJob(id string, spec JobSpec) *Job {
+func newJob(id string, spec JobSpec, clock telemetry.Clock) *Job {
+	if clock == nil {
+		clock = telemetry.System
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Job{
 		ID:      id,
 		Spec:    spec,
 		Result:  NewStream(),
+		clock:   clock,
 		status:  StatusQueued,
-		created: time.Now(),
+		created: clock.Now(),
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
+}
+
+// now reads the job's injected clock (the runner's timestamp source).
+func (j *Job) now() time.Time { return j.clock.Now() }
+
+// addSpanNS accumulates an elapsed sub-interval into one span field,
+// clamping negative durations (possible under a misbehaving fake clock)
+// to zero.
+func (j *Job) addSpanNS(dst *int64, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	j.mu.Lock()
+	*dst += int64(d)
+	j.mu.Unlock()
+}
+
+func (j *Job) addCache(d time.Duration) { j.addSpanNS(&j.spans.CacheNS, d) }
+func (j *Job) addExec(d time.Duration)  { j.addSpanNS(&j.spans.ExecNS, d) }
+func (j *Job) addFlush(d time.Duration) { j.addSpanNS(&j.spans.FlushNS, d) }
+
+// Spans returns a copy of the latency breakdown. All fields are final
+// once the job is terminal.
+func (j *Job) Spans() Spans {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spans
 }
 
 // Status returns the current status string.
@@ -198,7 +251,10 @@ func (j *Job) Cancel() { j.cancel() }
 func (j *Job) start() {
 	j.mu.Lock()
 	j.status = StatusRunning
-	j.started = time.Now()
+	j.started = j.clock.Now()
+	if d := j.started.Sub(j.created); d > 0 {
+		j.spans.QueueNS = int64(d)
+	}
 	j.mu.Unlock()
 }
 
@@ -206,7 +262,10 @@ func (j *Job) finish(status, errMsg string) {
 	j.mu.Lock()
 	j.status = status
 	j.err = errMsg
-	j.finished = time.Now()
+	j.finished = j.clock.Now()
+	if d := j.finished.Sub(j.created); d > 0 {
+		j.spans.TotalNS = int64(d)
+	}
 	j.mu.Unlock()
 	j.Result.Close()
 	close(j.done)
@@ -224,6 +283,9 @@ type JobView struct {
 	RunSeconds  float64 `json:"run_seconds,omitempty"`
 	ResultBytes int     `json:"result_bytes"`
 	ResultPath  string  `json:"result_path"`
+	// Spans is the latency breakdown, present once the job is terminal
+	// (all spans final by then).
+	Spans *Spans `json:"spans,omitempty"`
 }
 
 // View snapshots the job for the status endpoint.
@@ -245,6 +307,8 @@ func (j *Job) View() JobView {
 	if !j.finished.IsZero() {
 		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
 		v.RunSeconds = j.finished.Sub(j.started).Seconds()
+		sp := j.spans
+		v.Spans = &sp
 	}
 	return v
 }

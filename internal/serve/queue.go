@@ -13,16 +13,22 @@ var (
 	ErrDraining  = errors.New("serve: server draining, not accepting jobs")
 )
 
-// QueueStats is the /metricsz snapshot of queue activity.
+// QueueStats is the /metricsz snapshot of queue activity. QueuedMax and
+// RunningMax are lifetime high-water marks — the gauges capacity tuning
+// reads: a QueuedMax pinned at Depth means the queue saturated (and some
+// submits likely bounced with 429s), a RunningMax below Workers means the
+// worker pool never filled.
 type QueueStats struct {
-	Workers   int   `json:"workers"`
-	Depth     int   `json:"depth"`
-	Queued    int   `json:"queued"`
-	Submitted int64 `json:"submitted"`
-	Rejected  int64 `json:"rejected"`
-	Running   int   `json:"running"`
-	Completed int64 `json:"completed"`
-	Draining  bool  `json:"draining"`
+	Workers    int   `json:"workers"`
+	Depth      int   `json:"depth"`
+	Queued     int   `json:"queued"`
+	QueuedMax  int   `json:"queued_max"`
+	Submitted  int64 `json:"submitted"`
+	Rejected   int64 `json:"rejected"`
+	Running    int   `json:"running"`
+	RunningMax int   `json:"running_max"`
+	Completed  int64 `json:"completed"`
+	Draining   bool  `json:"draining"`
 }
 
 // Queue is a bounded job queue drained by a fixed worker pool. Admission
@@ -35,13 +41,15 @@ type Queue struct {
 	exec func(workerID int, j *Job)
 	wg   sync.WaitGroup
 
-	mu        sync.Mutex
-	workers   int
-	draining  bool
-	submitted int64
-	rejected  int64
-	running   int
-	completed int64
+	mu         sync.Mutex
+	workers    int
+	draining   bool
+	submitted  int64
+	rejected   int64
+	running    int
+	completed  int64
+	queuedMax  int
+	runningMax int
 }
 
 // NewQueue starts workers goroutines draining a queue of the given depth.
@@ -69,6 +77,9 @@ func (q *Queue) worker(id int) {
 	for j := range q.jobs {
 		q.mu.Lock()
 		q.running++
+		if q.running > q.runningMax {
+			q.runningMax = q.running
+		}
 		q.mu.Unlock()
 		q.exec(id, j)
 		q.mu.Lock()
@@ -89,6 +100,9 @@ func (q *Queue) Submit(j *Job) error {
 	select {
 	case q.jobs <- j:
 		q.submitted++
+		if n := len(q.jobs); n > q.queuedMax {
+			q.queuedMax = n
+		}
 		return nil
 	default:
 		q.rejected++
@@ -147,13 +161,15 @@ func (q *Queue) Stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return QueueStats{
-		Workers:   q.workers,
-		Depth:     cap(q.jobs),
-		Queued:    len(q.jobs),
-		Submitted: q.submitted,
-		Rejected:  q.rejected,
-		Running:   q.running,
-		Completed: q.completed,
-		Draining:  q.draining,
+		Workers:    q.workers,
+		Depth:      cap(q.jobs),
+		Queued:     len(q.jobs),
+		QueuedMax:  q.queuedMax,
+		Submitted:  q.submitted,
+		Rejected:   q.rejected,
+		Running:    q.running,
+		RunningMax: q.runningMax,
+		Completed:  q.completed,
+		Draining:   q.draining,
 	}
 }

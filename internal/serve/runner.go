@@ -122,7 +122,9 @@ type exportLine struct {
 // destination untouched — either its previous contents or the complete new
 // serialization, never a truncated file.
 func (s *Server) runExport(ctx context.Context, j *Job) error {
+	t := j.now()
 	g, err := s.loadGraph(ctx, j.Spec.Graph)
+	j.addCache(j.now().Sub(t))
 	if err != nil {
 		return err
 	}
@@ -145,14 +147,20 @@ func (s *Server) runExport(ctx context.Context, j *Job) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := graphio.WriteFileInjected(j.Spec.Output, g, format, s.cfg.Injector); err != nil {
+	t = j.now()
+	err = graphio.WriteFileInjected(j.Spec.Output, g, format, s.cfg.Injector)
+	j.addExec(j.now().Sub(t))
+	if err != nil {
 		return err
 	}
-	return j.Result.WriteLine(exportLine{
+	t = j.now()
+	err = j.Result.WriteLine(exportLine{
 		Type: "result", Kind: KindExport, Graph: g.String(),
 		Output: j.Spec.Output, Format: name,
 		Vertices: g.NumVertices(), Edges: g.NumEdges(),
 	})
+	j.addFlush(j.now().Sub(t))
+	return err
 }
 
 // loadGraph fetches the job's graph through the cache; concurrent jobs on
@@ -200,7 +208,9 @@ func (s *Server) loadSuite(ctx context.Context, scale int) (*core.Suite, error) 
 // under a per-job harness (deadline, bounded retries, per-cell telemetry)
 // and streams experiments and cells as they complete.
 func (s *Server) runSweep(ctx context.Context, j *Job) error {
+	t := j.now()
 	suite, err := s.loadSuite(ctx, j.Spec.SweepScale)
+	j.addCache(j.now().Sub(t))
 	if err != nil {
 		return err
 	}
@@ -215,7 +225,9 @@ func (s *Server) runSweep(ctx context.Context, j *Job) error {
 		ids = core.AllIDs()
 	}
 	for _, id := range ids {
+		t = j.now()
 		exp, err := core.RunByID(id, js, s.cfg.KNF, s.cfg.Host)
+		j.addExec(j.now().Sub(t))
 		if err != nil {
 			return err // unknown ID; normalize() should have caught it
 		}
@@ -226,13 +238,18 @@ func (s *Server) runSweep(ctx context.Context, j *Job) error {
 		for _, ce := range exp.Errors {
 			line.Errors = append(line.Errors, ce.Error())
 		}
-		if err := j.Result.WriteLine(line); err != nil {
-			return err
-		}
-		for _, cell := range exp.Cells {
-			if err := j.Result.WriteLine(CellLine{Type: "cell", CellTelemetry: cell}); err != nil {
-				return err
+		t = j.now()
+		err = j.Result.WriteLine(line)
+		if err == nil {
+			for _, cell := range exp.Cells {
+				if err = j.Result.WriteLine(CellLine{Type: "cell", CellTelemetry: cell}); err != nil {
+					break
+				}
 			}
+		}
+		j.addFlush(j.now().Sub(t))
+		if err != nil {
+			return err
 		}
 		if err := ctx.Err(); err != nil {
 			return err
@@ -244,7 +261,9 @@ func (s *Server) runSweep(ctx context.Context, j *Job) error {
 // runKernel runs one BFS / coloring / irregular job on worker w's resident
 // runtimes and streams the result plus a scheduler-counter snapshot.
 func (s *Server) runKernel(ctx context.Context, w int, j *Job) error {
+	t := j.now()
 	g, err := s.loadGraph(ctx, j.Spec.Graph)
+	j.addCache(j.now().Sub(t))
 	if err != nil {
 		return err
 	}
@@ -252,97 +271,111 @@ func (s *Server) runKernel(ctx context.Context, w int, j *Job) error {
 	spec := j.Spec
 	line := resultLine{Type: "result", Kind: spec.Kind, Graph: g.String(), Variant: spec.Variant}
 
-	switch spec.Kind {
-	case KindBFS:
-		src := int32(spec.Source)
-		if src <= 0 || int(src) >= g.NumVertices() {
-			src = int32(g.NumVertices() / 2)
-		}
-		opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk}
-		var res bfs.Result
-		switch spec.Variant {
-		case "seq":
-			res = bfs.Sequential(g, src)
-		case "omp-block", "omp-block-relaxed":
-			res, err = bfs.BlockTeamCtx(ctx, g, src, rt.team, opts, spec.Chunk,
-				spec.Variant == "omp-block-relaxed")
-		case "tbb-block", "tbb-block-relaxed":
-			res, err = bfs.BlockTBBCtx(ctx, g, src, rt.pool, sched.SimplePartitioner,
-				spec.Chunk, spec.Chunk, spec.Variant == "tbb-block-relaxed")
-		case "bag":
-			res, err = bfs.BagCilkCtx(ctx, g, src, rt.pool, spec.Chunk)
-		case "tls":
-			res, err = bfs.TLSTeamCtx(ctx, g, src, rt.team, opts)
-		default:
-			return fmt.Errorf("serve: unknown bfs variant %q", spec.Variant)
-		}
-		if err != nil {
-			return err
-		}
-		reached := 0
-		for _, l := range res.Levels {
-			if l != bfs.Unvisited {
-				reached++
+	// The kernel switch runs inside a closure so the exec span covers every
+	// path out of it (including error returns) without overlapping the
+	// cache span before it or the flush span after it.
+	t = j.now()
+	runErr := func() error {
+		switch spec.Kind {
+		case KindBFS:
+			src := int32(spec.Source)
+			if src <= 0 || int(src) >= g.NumVertices() {
+				src = int32(g.NumVertices() / 2)
 			}
-		}
-		line.NumLevels = res.NumLevels
-		line.Reached = reached
-		line.Processed = res.Processed
-		line.Duplicates = res.Duplicates
+			opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk}
+			var res bfs.Result
+			switch spec.Variant {
+			case "seq":
+				res = bfs.Sequential(g, src)
+			case "omp-block", "omp-block-relaxed":
+				res, err = bfs.BlockTeamCtx(ctx, g, src, rt.team, opts, spec.Chunk,
+					spec.Variant == "omp-block-relaxed")
+			case "tbb-block", "tbb-block-relaxed":
+				res, err = bfs.BlockTBBCtx(ctx, g, src, rt.pool, sched.SimplePartitioner,
+					spec.Chunk, spec.Chunk, spec.Variant == "tbb-block-relaxed")
+			case "bag":
+				res, err = bfs.BagCilkCtx(ctx, g, src, rt.pool, spec.Chunk)
+			case "tls":
+				res, err = bfs.TLSTeamCtx(ctx, g, src, rt.team, opts)
+			default:
+				return fmt.Errorf("serve: unknown bfs variant %q", spec.Variant)
+			}
+			if err != nil {
+				return err
+			}
+			reached := 0
+			for _, l := range res.Levels {
+				if l != bfs.Unvisited {
+					reached++
+				}
+			}
+			line.NumLevels = res.NumLevels
+			line.Reached = reached
+			line.Processed = res.Processed
+			line.Duplicates = res.Duplicates
 
-	case KindColoring:
-		var res coloring.Result
-		switch spec.Variant {
-		case "seq":
-			res = coloring.SeqGreedy(g)
-		case "openmp":
-			res, err = coloring.ColorTeamCtx(ctx, g, rt.team,
-				sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
-		case "cilk":
-			res, err = coloring.ColorCilkCtx(ctx, g, rt.pool, spec.Chunk, coloring.CilkHolder)
-		case "tbb":
-			res, err = coloring.ColorTBBCtx(ctx, g, rt.pool, sched.SimplePartitioner, spec.Chunk)
-		default:
-			return fmt.Errorf("serve: unknown coloring runtime %q", spec.Variant)
-		}
-		if err != nil {
-			return err
-		}
-		if err := coloring.Validate(g, res.Colors); err != nil {
-			return fmt.Errorf("serve: coloring invalid: %w", err)
-		}
-		line.NumColors = res.NumColors
-		line.Rounds = res.Rounds
-		line.Conflicts = res.Conflicts
+		case KindColoring:
+			var res coloring.Result
+			switch spec.Variant {
+			case "seq":
+				res = coloring.SeqGreedy(g)
+			case "openmp":
+				res, err = coloring.ColorTeamCtx(ctx, g, rt.team,
+					sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
+			case "cilk":
+				res, err = coloring.ColorCilkCtx(ctx, g, rt.pool, spec.Chunk, coloring.CilkHolder)
+			case "tbb":
+				res, err = coloring.ColorTBBCtx(ctx, g, rt.pool, sched.SimplePartitioner, spec.Chunk)
+			default:
+				return fmt.Errorf("serve: unknown coloring runtime %q", spec.Variant)
+			}
+			if err != nil {
+				return err
+			}
+			if err := coloring.Validate(g, res.Colors); err != nil {
+				return fmt.Errorf("serve: coloring invalid: %w", err)
+			}
+			line.NumColors = res.NumColors
+			line.Rounds = res.Rounds
+			line.Conflicts = res.Conflicts
 
-	case KindIrregular:
-		state := irregular.InitialState(g.NumVertices())
-		var out []float64
-		switch spec.Variant {
-		case "openmp":
-			out, err = irregular.TeamCtx(ctx, g, state, spec.Iters, rt.team,
-				sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
-		case "cilk":
-			out, err = irregular.CilkCtx(ctx, g, state, spec.Iters, rt.pool, spec.Chunk)
-		case "tbb":
-			out, err = irregular.TBBCtx(ctx, g, state, spec.Iters, rt.pool,
-				sched.SimplePartitioner, spec.Chunk)
-		default:
-			return fmt.Errorf("serve: unknown irregular runtime %q", spec.Variant)
+		case KindIrregular:
+			state := irregular.InitialState(g.NumVertices())
+			var out []float64
+			switch spec.Variant {
+			case "openmp":
+				out, err = irregular.TeamCtx(ctx, g, state, spec.Iters, rt.team,
+					sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
+			case "cilk":
+				out, err = irregular.CilkCtx(ctx, g, state, spec.Iters, rt.pool, spec.Chunk)
+			case "tbb":
+				out, err = irregular.TBBCtx(ctx, g, state, spec.Iters, rt.pool,
+					sched.SimplePartitioner, spec.Chunk)
+			default:
+				return fmt.Errorf("serve: unknown irregular runtime %q", spec.Variant)
+			}
+			if err != nil {
+				return err
+			}
+			sum := 0.0
+			for _, v := range out {
+				sum += v
+			}
+			line.Iters = spec.Iters
+			line.Checksum = sum
 		}
-		if err != nil {
-			return err
-		}
-		sum := 0.0
-		for _, v := range out {
-			sum += v
-		}
-		line.Iters = spec.Iters
-		line.Checksum = sum
+		return nil
+	}()
+	j.addExec(j.now().Sub(t))
+	if runErr != nil {
+		return runErr
 	}
 
-	if err := j.Result.WriteLine(line); err != nil {
-		return err
+	t = j.now()
+	err = j.Result.WriteLine(line)
+	if err == nil {
+		err = j.Result.WriteLine(countersLine{Type: "counters", Counters: s.counters.Snapshot()})
 	}
-	return j.Result.WriteLine(countersLine{Type: "counters", Counters: s.counters.Snapshot()})
+	j.addFlush(j.now().Sub(t))
+	return err
 }

@@ -51,6 +51,13 @@ type Config struct {
 	// mic.KNF() / mic.HostXeon()).
 	KNF  *mic.Machine
 	Host *mic.Machine
+
+	// Clock is the time source behind every timestamp the server stamps:
+	// job creation/start/finish, latency spans, uptime (default
+	// telemetry.System). Tests inject a fake to make spans deterministic;
+	// micvet's wallclock analyzer keeps direct time.Now out of this
+	// package so nothing bypasses it.
+	Clock telemetry.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +94,52 @@ func (c Config) withDefaults() Config {
 	if c.Host == nil {
 		c.Host = mic.HostXeon()
 	}
+	if c.Clock == nil {
+		c.Clock = telemetry.System
+	}
 	return c
+}
+
+// latencySet aggregates every terminal job's spans into the shared
+// fixed-bucket histograms /metricsz exports. One histogram per span keeps
+// attribution separable: micload subtracts consecutive snapshots to get
+// per-phase server-side distributions and compares them against its own
+// client-observed latencies.
+type latencySet struct {
+	queueWait *telemetry.Histogram
+	cacheLoad *telemetry.Histogram
+	exec      *telemetry.Histogram
+	flush     *telemetry.Histogram
+	total     *telemetry.Histogram
+}
+
+func newLatencySet() latencySet {
+	return latencySet{
+		queueWait: telemetry.NewHistogram(),
+		cacheLoad: telemetry.NewHistogram(),
+		exec:      telemetry.NewHistogram(),
+		flush:     telemetry.NewHistogram(),
+		total:     telemetry.NewHistogram(),
+	}
+}
+
+func (l latencySet) observe(sp Spans) {
+	l.queueWait.ObserveNS(sp.QueueNS)
+	l.cacheLoad.ObserveNS(sp.CacheNS)
+	l.exec.ObserveNS(sp.ExecNS)
+	l.flush.ObserveNS(sp.FlushNS)
+	l.total.ObserveNS(sp.TotalNS)
+}
+
+// snapshot returns the JSON shape of /metricsz's "latency" block.
+func (l latencySet) snapshot() map[string]telemetry.HistogramSnapshot {
+	return map[string]telemetry.HistogramSnapshot{
+		"queue_wait":   l.queueWait.Snapshot(),
+		"cache_load":   l.cacheLoad.Snapshot(),
+		"exec":         l.exec.Snapshot(),
+		"stream_flush": l.flush.Snapshot(),
+		"total":        l.total.Snapshot(),
+	}
 }
 
 // Server is the micserved daemon core: cache + queue + job registry +
@@ -98,6 +150,7 @@ type Server struct {
 	cache    *Cache
 	queue    *Queue
 	counters *telemetry.Counters
+	lat      latencySet
 	rts      []*workerRT
 	started  time.Time
 
@@ -120,8 +173,9 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheBytes),
 		counters: telemetry.NewCounters(cfg.KernelWorkers),
+		lat:      newLatencySet(),
 		jobs:     make(map[string]*Job),
-		started:  time.Now(),
+		started:  cfg.Clock.Now(),
 	}
 	s.rts = make([]*workerRT, cfg.Workers)
 	for i := range s.rts {
@@ -211,7 +265,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.totals.Accepted++
 	s.mu.Unlock()
 
-	j := newJob(id, spec)
+	j := newJob(id, spec, s.cfg.Clock)
 	s.register(j)
 	if err := s.queue.Submit(j); err != nil {
 		s.unregister(id)
@@ -305,6 +359,7 @@ func (s *Server) exec(w int, j *Job) {
 // terminal counters tile Accepted exactly.
 func (s *Server) finish(j *Job, status, errMsg string) {
 	j.finish(status, errMsg)
+	s.lat.observe(j.Spans())
 	s.mu.Lock()
 	switch status {
 	case StatusSucceeded:
@@ -463,7 +518,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         status,
-		"uptime_seconds": time.Since(s.started).Seconds(),
+		"uptime_seconds": s.cfg.Clock.Now().Sub(s.started).Seconds(),
 		"queue":          s.queue.Stats(),
 	})
 }
@@ -475,12 +530,30 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		byStatus[j.Status()]++
 	}
 	s.mu.Unlock()
+	cache := s.cache.Stats()
+	queue := s.queue.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds": time.Since(s.started).Seconds(),
+		"uptime_seconds": s.cfg.Clock.Now().Sub(s.started).Seconds(),
 		"counters":       s.counters.Snapshot(),
-		"cache":          s.cache.Stats(),
-		"queue":          s.queue.Stats(),
+		"cache":          cache,
+		"queue":          queue,
 		"jobs":           byStatus,
 		"jobs_total":     s.Totals(),
+		"latency":        s.lat.snapshot(),
+		// gauges is the capacity-tuning scrape block: current queue depth
+		// and in-flight count with their high-water marks, next to the
+		// cache's hit/miss/eviction counters, all in one flat map so load
+		// harnesses sample one path instead of re-deriving from the nested
+		// stats objects.
+		"gauges": map[string]int64{
+			"queue_depth":          int64(queue.Queued),
+			"queue_depth_max":      int64(queue.QueuedMax),
+			"jobs_running":         int64(queue.Running),
+			"jobs_running_max":     int64(queue.RunningMax),
+			"cache_hits":           cache.Hits,
+			"cache_misses":         cache.Misses,
+			"cache_evictions":      cache.Evictions,
+			"cache_resident_bytes": cache.ResidentBytes,
+		},
 	})
 }

@@ -1,0 +1,16 @@
+package telemetry
+
+import "time"
+
+// systemClock is the wall clock behind telemetry.System.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// System is the process wall clock as a Clock. Packages whose clock reads
+// are policed by micvet's wallclock analyzer (the kernels, and since the
+// latency-span work the serving and load-generation layers) take their
+// default time source from here instead of calling time.Now directly, so
+// a test can swap in a fake Clock and make every stamped duration
+// deterministic.
+var System Clock = systemClock{}

@@ -1,11 +1,19 @@
 #!/bin/sh
 # bench.sh — run the bench_test.go benchmarks and emit a machine-readable
-# JSON baseline for perf-trajectory tracking.
+# JSON baseline for perf-trajectory tracking, then (optionally) drive the
+# serving baseline: boot micserved and replay a seeded micload trace into
+# BENCH_SERVE_0.json.
 #
 # Usage:
-#   scripts/bench.sh                  # all benchmarks, 1 iteration each -> BENCH_0.json
+#   scripts/bench.sh                  # all benchmarks, 1s each -> BENCH_0.json
 #   BENCH_PATTERN='Kernel' scripts/bench.sh
-#   BENCH_TIME=1s BENCH_COUNT=3 BENCH_OUT=BENCH_1.json scripts/bench.sh
+#   BENCH_TIME=2s BENCH_COUNT=3 BENCH_OUT=BENCH_1.json scripts/bench.sh
+#   BENCH_SERVE=1 scripts/bench.sh    # also run the micload serving baseline
+#   BENCH_SERVE=only scripts/bench.sh # just the serving baseline
+#
+# BENCH_TIME defaults to 1s (real averaged iterations). The old default of
+# 1x produced iterations:1 records — single-iteration numbers are far too
+# noisy to gate a perf trajectory on.
 #
 # Output: a JSON array of {"name", "iterations", "ns_per_op", "bytes_per_op",
 # "allocs_per_op"} objects, one per benchmark line (repeated names mean
@@ -16,37 +24,79 @@ set -eu
 cd "$(dirname "$0")/.."
 
 PATTERN="${BENCH_PATTERN:-.}"
-TIME="${BENCH_TIME:-1x}"
+TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-1}"
 OUT="${BENCH_OUT:-BENCH_0.json}"
 RAW="${OUT%.json}.txt"
+SERVE="${BENCH_SERVE:-0}"
 
-echo "bench.sh: go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $TIME -count $COUNT ." >&2
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" -count "$COUNT" -timeout 60m . | tee "$RAW"
+if [ "$SERVE" != "only" ]; then
+    echo "bench.sh: go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $TIME -count $COUNT ." >&2
+    go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" -count "$COUNT" -timeout 60m . | tee "$RAW"
 
-# Benchmark lines look like:
-#   BenchmarkFoo-8   	      10	 123456 ns/op	    4096 B/op	      12 allocs/op
-# (B/op and allocs/op are present because of -benchmem).
-awk '
-/^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    iters = $2
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns = $i
-        if ($(i+1) == "B/op")      bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
+    # Benchmark lines look like:
+    #   BenchmarkFoo-8   	      10	 123456 ns/op	    4096 B/op	      12 allocs/op
+    # (B/op and allocs/op are present because of -benchmem).
+    awk '
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        iters = $2
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 3; i < NF; i++) {
+            if ($(i+1) == "ns/op")     ns = $i
+            if ($(i+1) == "B/op")      bytes = $i
+            if ($(i+1) == "allocs/op") allocs = $i
+        }
+        if (ns == "") next
+        if (bytes == "")  bytes = 0
+        if (allocs == "") allocs = 0
+        if (n++) printf ",\n"
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            name, iters, ns, bytes, allocs
     }
-    if (ns == "") next
-    if (bytes == "")  bytes = 0
-    if (allocs == "") allocs = 0
-    if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, iters, ns, bytes, allocs
-}
-BEGIN { printf "[\n" }
-END   { printf "\n]\n" }
-' "$RAW" > "$OUT"
+    BEGIN { printf "[\n" }
+    END   { printf "\n]\n" }
+    ' "$RAW" > "$OUT"
 
-N=$(grep -c '"name"' "$OUT" || true)
-echo "bench.sh: wrote $N benchmark records to $OUT (raw output in $RAW)" >&2
+    N=$(grep -c '"name"' "$OUT" || true)
+    echo "bench.sh: wrote $N benchmark records to $OUT (raw output in $RAW)" >&2
+fi
+
+if [ "$SERVE" = "0" ]; then
+    exit 0
+fi
+
+# Serving baseline: a deliberately small daemon (2 workers, queue 8) so the
+# burst phase visibly saturates the queue — the point of the artifact is
+# the per-phase latency attribution, not peak throughput of this machine.
+SERVE_OUT="${BENCH_SERVE_OUT:-BENCH_SERVE_0.json}"
+SERVE_SEED="${BENCH_SERVE_SEED:-1}"
+SERVE_ADDR="${BENCH_SERVE_ADDR:-127.0.0.1:8390}"
+SERVE_PHASES="${BENCH_SERVE_PHASES:-steady,dur=10s,rps=25;sweep,dur=12s,rps=10,end=40;burst,dur=10s,rps=15,mult=8,at=0.5,width=0.2}"
+EXPORT_DIR="$(mktemp -d)"
+trap 'rm -rf "$EXPORT_DIR"; [ -n "${DPID:-}" ] && kill -TERM "$DPID" 2>/dev/null || true' EXIT
+
+echo "bench.sh: building micserved + micload" >&2
+go build -o "$EXPORT_DIR/micserved" ./cmd/micserved
+go build -o "$EXPORT_DIR/micload" ./cmd/micload
+
+"$EXPORT_DIR/micserved" -addr "$SERVE_ADDR" -workers 2 -queue 8 -retry-after 250ms &
+DPID=$!
+for i in $(seq 1 100); do
+    if curl -sf "http://$SERVE_ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+
+"$EXPORT_DIR/micload" \
+    -addr "http://$SERVE_ADDR" \
+    -seed "$SERVE_SEED" \
+    -phases "$SERVE_PHASES" \
+    -clients 64 \
+    -export-dir "$EXPORT_DIR" \
+    -trace-out "${SERVE_OUT%.json}.trace.jsonl" \
+    -out "$SERVE_OUT"
+
+kill -TERM "$DPID"
+wait "$DPID" || true
+DPID=""
+echo "bench.sh: wrote serving baseline to $SERVE_OUT" >&2

@@ -36,15 +36,16 @@ func chaosDaemon(seed uint64) daemonConfig {
 // job by Target; corrupt addresses a pool file; overload carries a burst
 // of bodies; restart SIGTERMs the daemon mid-flight and starts a fresh one.
 const (
-	opSubmit    = "submit"    // submit a valid (or bogus-variant) job
-	opMalformed = "malformed" // submit a body that must 400
-	opPoll      = "poll"      // GET /jobs/{id} of a tracked job
-	opCancel    = "cancel"    // DELETE /jobs/{id} of a tracked job
-	opList      = "list"      // GET /jobs
-	opMetrics   = "metrics"   // GET /metricsz + conservation check
-	opOverload  = "overload"  // burst of submits past the queue depth
-	opCorrupt   = "corrupt"   // damage a pool graph file (new version)
-	opRestart   = "restart"   // SIGTERM, drain invariants, fresh daemon
+	opSubmit    = "submit"        // submit a valid (or bogus-variant) job
+	opMalformed = "malformed"     // submit a body that must 400
+	opPoll      = "poll"          // GET /jobs/{id} of a tracked job
+	opProbe     = "latency-probe" // poll + latency-span invariants on the view
+	opCancel    = "cancel"        // DELETE /jobs/{id} of a tracked job
+	opList      = "list"          // GET /jobs
+	opMetrics   = "metrics"       // GET /metricsz + conservation check
+	opOverload  = "overload"      // burst of submits past the queue depth
+	opCorrupt   = "corrupt"       // damage a pool graph file (new version)
+	opRestart   = "restart"       // SIGTERM, drain invariants, fresh daemon
 )
 
 // action is one generated step. Bodies reference runtime directories via
@@ -69,7 +70,7 @@ func (a action) format() string {
 		return fmt.Sprintf("%s expect_fail=%t export=%t body=%s", a.Op, a.ExpectFail, a.IsExport, a.Body)
 	case opMalformed:
 		return fmt.Sprintf("%s body=%s", a.Op, a.Body)
-	case opPoll, opCancel:
+	case opPoll, opProbe, opCancel:
 		return fmt.Sprintf("%s target=%d", a.Op, a.Target)
 	case opCorrupt:
 		return fmt.Sprintf("%s file=%d", a.Op, a.File)
@@ -111,8 +112,8 @@ var (
 // genScript derives a whole action script from (seed, n) and nothing else.
 // It mirrors the file pool's version counters so corrupted-file references
 // always name files the executor will have materialised. A post-pass
-// guarantees coverage on longer runs: at least one overload, one corrupt
-// and one mid-flight restart, placed at deterministic indices, so the
+// guarantees coverage on longer runs: at least one overload, one corrupt,
+// one mid-flight restart and one latency probe, placed at deterministic indices, so the
 // acceptance scenario (panics+stalls+read/write faults+overload+SIGTERM/
 // restart) holds for every seed, not just lucky ones.
 func genScript(seed uint64, n int) []action {
@@ -175,8 +176,10 @@ func genScript(seed uint64, n int) []action {
 				poolFileName(f, vers[f]))}
 		case p < 65:
 			a = action{Op: opMalformed, Body: malformedSet[rng.Intn(len(malformedSet))]}
-		case p < 73:
+		case p < 70:
 			a = action{Op: opPoll, Target: rng.Intn(1 << 16)}
+		case p < 73:
+			a = action{Op: opProbe, Target: rng.Intn(1 << 16)}
 		case p < 79:
 			a = action{Op: opList}
 		case p < 87:
@@ -227,6 +230,7 @@ func genScript(seed uint64, n int) []action {
 		})
 		ensure(opCorrupt, n/2, func() action { return action{Op: opCorrupt, File: 0} })
 		ensure(opRestart, 2*n/3, func() action { return action{Op: opRestart} })
+		ensure(opProbe, n/4, func() action { return action{Op: opProbe, Target: 1} })
 
 		// A corrupted file that is never submitted exercises nothing: make
 		// sure some submit references a corrupted version after it exists.

@@ -22,12 +22,23 @@ func newClient(t tb, d *daemon) *client {
 	return &client{t: t, base: d.url(), hc: &http.Client{Timeout: 15 * time.Second}}
 }
 
+// jobSpans mirrors serve.Spans: the per-job latency breakdown a terminal
+// status view carries.
+type jobSpans struct {
+	QueueNS int64 `json:"queue_ns"`
+	CacheNS int64 `json:"cache_ns"`
+	ExecNS  int64 `json:"exec_ns"`
+	FlushNS int64 `json:"flush_ns"`
+	TotalNS int64 `json:"total_ns"`
+}
+
 // jobView mirrors the serve.JobView fields the oracle reads.
 type jobView struct {
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`
-	Status string `json:"status"`
-	Error  string `json:"error"`
+	ID     string    `json:"id"`
+	Kind   string    `json:"kind"`
+	Status string    `json:"status"`
+	Error  string    `json:"error"`
+	Spans  *jobSpans `json:"spans"`
 }
 
 // jobsTotal mirrors serve.JobTotals.

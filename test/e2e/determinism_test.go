@@ -32,7 +32,7 @@ func TestChaosScriptCoverage(t *testing.T) {
 			have[a.Op] = true
 			expectFail = expectFail || a.ExpectFail
 		}
-		for _, op := range []string{opSubmit, opOverload, opCorrupt, opRestart} {
+		for _, op := range []string{opSubmit, opOverload, opCorrupt, opRestart, opProbe} {
 			if !have[op] {
 				t.Errorf("seed %d: 75-action script has no %s op", seed, op)
 			}

@@ -119,6 +119,19 @@ func (r *chaosRunner) step(i int, a action) {
 			r.t.Fatalf("action %04d: poll %s: %v", i, tj.id, err)
 		}
 		r.checkJobView(i, code, v, tj.id)
+	case opProbe:
+		if len(r.tracked) == 0 {
+			return
+		}
+		tj := r.tracked[a.Target%len(r.tracked)]
+		code, v, err := r.c.jobStatus(tj.id)
+		if err != nil {
+			r.t.Fatalf("action %04d: latency-probe %s: %v", i, tj.id, err)
+		}
+		r.checkJobView(i, code, v, tj.id)
+		if code == http.StatusOK {
+			r.checkSpans(i, v, tj.id)
+		}
 	case opCancel:
 		if len(r.tracked) == 0 {
 			return
@@ -138,6 +151,7 @@ func (r *chaosRunner) step(i int, a action) {
 		}
 		for _, v := range views {
 			r.checkJobView(i, http.StatusOK, v, v.ID)
+			r.checkSpans(i, v, v.ID)
 		}
 	case opMetrics:
 		r.checkMetrics()
@@ -206,6 +220,42 @@ func (r *chaosRunner) checkJobView(i, code int, v jobView, id string) {
 		}
 	default:
 		r.t.Fatalf("action %04d: job %s status code %d", i, id, code)
+	}
+}
+
+var terminalStatuses = map[string]bool{"succeeded": true, "failed": true, "cancelled": true}
+
+// checkSpans enforces the latency-span invariants on one observed job view:
+// a terminal job must expose spans, every span must be non-negative, and the
+// queue/cache/exec/flush components — disjoint sub-intervals of the job's
+// lifetime on one clock — must sum to at most the total.
+func (r *chaosRunner) checkSpans(i int, v jobView, id string) {
+	r.t.Helper()
+	sp := v.Spans
+	if !terminalStatuses[v.Status] {
+		if sp != nil {
+			r.t.Fatalf("INVARIANT span-terminal: action %04d job %s is %s but already exposes spans %+v",
+				i, id, v.Status, *sp)
+		}
+		return
+	}
+	if sp == nil {
+		r.t.Fatalf("INVARIANT span-present: action %04d terminal job %s (%s) has no spans", i, id, v.Status)
+	}
+	for _, f := range []struct {
+		name string
+		ns   int64
+	}{
+		{"queue_ns", sp.QueueNS}, {"cache_ns", sp.CacheNS}, {"exec_ns", sp.ExecNS},
+		{"flush_ns", sp.FlushNS}, {"total_ns", sp.TotalNS},
+	} {
+		if f.ns < 0 {
+			r.t.Fatalf("INVARIANT span-monotonic: action %04d job %s span %s is negative (%d)", i, id, f.name, f.ns)
+		}
+	}
+	if sum := sp.QueueNS + sp.CacheNS + sp.ExecNS + sp.FlushNS; sum > sp.TotalNS {
+		r.t.Fatalf("INVARIANT span-sum: action %04d job %s span components sum to %dns > total %dns (%+v)",
+			i, id, sum, sp.TotalNS, *sp)
 	}
 }
 
