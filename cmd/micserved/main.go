@@ -15,6 +15,16 @@
 // completion, then the process exits 0. Cancelling the queued tail keeps
 // the drain bounded by the jobs already executing, so a full queue cannot
 // push shutdown past -drain-timeout.
+//
+// With -name and -peers the daemon joins a static cluster: kernel jobs are
+// placed on a seeded consistent-hash ring keyed by graph identity (bounded
+// load, R-way replication for hot-graph reads), non-local jobs are
+// forwarded one hop with the result stream relayed through the entry node,
+// job ids are shard-prefixed so follow-up requests route by id, peers are
+// probed and evicted from the ring on failure, and /metricsz reports
+// per-shard totals plus their conservation-preserving sum.
+//
+//	micserved -addr :8381 -name n1 -peers n1=http://h1:8381,n2=http://h2:8381
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"micgraph/internal/cluster"
 	"micgraph/internal/core"
 	"micgraph/internal/fault"
 	"micgraph/internal/mic"
@@ -45,6 +56,16 @@ func main() {
 		maxTO   = flag.Duration("max-timeout", 10*time.Minute, "hard cap on per-job deadlines")
 		drainTO = flag.Duration("drain-timeout", time.Minute, "how long to wait for in-flight jobs on shutdown")
 		retryIn = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses (load harnesses tune this down)")
+
+		name        = flag.String("name", "", "cluster mode: this node's shard name (requires -peers)")
+		peersFlag   = flag.String("peers", "", "cluster mode: static membership, name=url,... or @peers.json")
+		replication = flag.Int("replication", 2, "cluster mode: replica-set size R for hot-graph reads")
+		ringSeed    = flag.Uint64("ring-seed", 1, "cluster mode: placement ring seed (must match across peers)")
+		vnodes      = flag.Int("vnodes", 64, "cluster mode: ring points per node")
+		loadFactor  = flag.Float64("load-factor", 1.25, "cluster mode: bounded-load constant c")
+		probeEvery  = flag.Duration("probe-interval", time.Second, "cluster mode: peer health probe interval")
+		probeTO     = flag.Duration("probe-timeout", 2*time.Second, "cluster mode: per-probe timeout")
+		probeFails  = flag.Int("probe-fails", 2, "cluster mode: consecutive probe failures before ring eviction")
 
 		faultSeed  = flag.Uint64("fault-seed", 1, "fault injection: deterministic injector seed")
 		panicRate  = flag.Float64("fault-panic-rate", 0, "fault injection: probability a scheduler boundary panics")
@@ -104,7 +125,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "micserved: fault injection armed (seed %d)\n", *faultSeed)
 	}
 
-	srv := serve.New(serve.Config{
+	serveCfg := serve.Config{
 		Workers:        *workers,
 		KernelWorkers:  *kernelW,
 		QueueDepth:     *depth,
@@ -115,9 +136,57 @@ func main() {
 		Injector:       in,
 		Stall:          *stallFor,
 		KNF:            knf,
-	})
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Cluster mode: -name + -peers turn this process into one shard of a
+	// sharded micserved. The HTTP surface is unchanged — the node routes
+	// each request to the shard the placement ring picks — so clients and
+	// load harnesses point at any member.
+	var (
+		handler http.Handler
+		drain   func(context.Context) error
+	)
+	if *name != "" || *peersFlag != "" {
+		if *name == "" || *peersFlag == "" {
+			fmt.Fprintln(os.Stderr, "micserved: cluster mode needs both -name and -peers")
+			os.Exit(2)
+		}
+		peers, err := cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "micserved:", err)
+			os.Exit(2)
+		}
+		node, err := cluster.NewNode(cluster.Config{
+			Self:          *name,
+			Peers:         peers,
+			Seed:          *ringSeed,
+			VNodes:        *vnodes,
+			Replication:   *replication,
+			LoadFactor:    *loadFactor,
+			ProbeInterval: *probeEvery,
+			ProbeTimeout:  *probeTO,
+			FailThreshold: *probeFails,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}, serveCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "micserved:", err)
+			os.Exit(2)
+		}
+		probeCtx, stopProbes := context.WithCancel(context.Background())
+		defer stopProbes()
+		node.Start(probeCtx)
+		handler = node.Handler()
+		drain = node.Drain
+		fmt.Fprintf(os.Stderr, "micserved: cluster mode, shard %s of %d peers\n", *name, len(peers))
+	} else {
+		srv := serve.New(serveCfg)
+		handler = srv.Handler()
+		drain = srv.Drain
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "micserved: listening on %s (%d workers x %d kernel workers, queue %d)\n",
@@ -137,7 +206,7 @@ func main() {
 		stop()
 		fmt.Fprintln(os.Stderr, "micserved: signal received, draining ...")
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
-		if err := srv.Drain(drainCtx); err != nil {
+		if err := drain(drainCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "micserved: drain:", err)
 			exit = 1
 		} else {

@@ -15,7 +15,7 @@ var simScope = []string{"mic", "perfmodel"}
 // emitScope holds the packages whose output paths (JSONL, SVG, trace
 // JSON, HTTP result streams) must be byte-deterministic: a map iteration
 // feeding an emitter directly is order-nondeterministic by language spec.
-var emitScope = []string{"mic", "perfmodel", "core", "serve", "telemetry"}
+var emitScope = []string{"mic", "perfmodel", "core", "serve", "telemetry", "cluster"}
 
 // emitMethods are method names treated as "emits output" when called
 // inside a range-over-map body.

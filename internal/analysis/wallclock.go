@@ -9,7 +9,7 @@ import (
 // Recorder, so phase samples are bit-deterministic under a fake clock) and
 // the serving/load-generation layers (telemetry.Clock via config, so job
 // latency spans and trace timestamps are deterministic in tests).
-var wallclockScope = []string{"bfs", "coloring", "irregular", "serve", "load"}
+var wallclockScope = []string{"bfs", "coloring", "irregular", "serve", "load", "cluster"}
 
 // Wallclock flags direct time.Now and time.Since calls inside the scoped
 // packages. Kernels must route timestamps through the Recorder's clock

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"micgraph/internal/serve"
+)
+
+// ForwardedHeader marks a request that was already routed by a cluster
+// entry node. A node receiving it serves locally without consulting the
+// ring again — the one-hop rule that makes routing loops impossible even
+// when two nodes' rings momentarily disagree about membership.
+const ForwardedHeader = "X-Micserved-Forwarded"
+
+// memResponse is a minimal in-memory http.ResponseWriter used to run the
+// local serve handler for /healthz and /metricsz composition (the cluster
+// blocks wrap the local JSON rather than re-deriving it).
+type memResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newMemResponse() *memResponse {
+	return &memResponse{header: make(http.Header), status: http.StatusOK}
+}
+
+func (m *memResponse) Header() http.Header         { return m.header }
+func (m *memResponse) WriteHeader(status int)      { m.status = status }
+func (m *memResponse) Write(b []byte) (int, error) { return m.body.Write(b) }
+
+// captureLocal runs r against the local handler and returns the buffered
+// response.
+func captureLocal(h http.Handler, r *http.Request) *memResponse {
+	m := newMemResponse()
+	h.ServeHTTP(m, r)
+	return m
+}
+
+// forwardError writes the 502 a client sees when the shard owning its
+// request cannot be reached. The body is the same {"error": ...} shape the
+// serve package uses, with the owning shard named so the failure is
+// attributable.
+func forwardError(w http.ResponseWriter, owner string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadGateway)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf("cluster: shard %s unreachable: %v", owner, err),
+	})
+}
+
+// forward proxies one buffered-body request to the peer at baseURL and
+// copies the response back verbatim (status, content type, request-ID
+// header, body). body may be nil for GET/DELETE. Returns an error only
+// when the peer could not be reached or did not answer; HTTP-level errors
+// (4xx/5xx from the peer) are copied through as-is, since they are the
+// peer's answer.
+func forward(ctx context.Context, client *http.Client, method, baseURL, path string, body []byte, hdr http.Header, w http.ResponseWriter) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	for _, k := range []string{"Content-Type", "Retry-After", serve.RequestIDHeader} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return nil
+}
+
+// relayResult streams a remote shard's JSONL result body through to w,
+// flushing per line so a client following a running job sees lines as the
+// shard produces them. If the upstream connection dies mid-stream — the
+// shard was killed — a terminal error line is appended before returning,
+// so a dead shard's job visibly fails instead of its stream silently
+// truncating.
+func relayResult(owner string, upstream io.Reader, w http.ResponseWriter) {
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	br := bufio.NewReader(upstream)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			w.Write(line)
+			flush()
+		}
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			terminalErrorLine(w, owner, err)
+			flush()
+			return
+		}
+	}
+}
+
+// terminalErrorLine writes the JSONL error record that ends a relayed
+// stream whose upstream shard became unreachable. It matches the shape of
+// the serve package's own terminal error lines, so stream consumers need
+// no cluster-specific handling.
+func terminalErrorLine(w io.Writer, owner string, err error) {
+	b, _ := json.Marshal(map[string]string{
+		"type":  "error",
+		"error": fmt.Sprintf("cluster: shard %s unreachable: %v", owner, err),
+	})
+	w.Write(append(b, '\n'))
+}

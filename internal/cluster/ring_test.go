@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(seed uint64, vnodes, n int) *Ring {
+	r := NewRing(seed, vnodes)
+	for i := 1; i <= n; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	return r
+}
+
+func keys(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("suite:g%d@%d", i%97, i)
+	}
+	return out
+}
+
+// Key distribution must stay within a constant factor of fair share for
+// every cluster size the docs quote. The ring is fully deterministic
+// under a fixed seed, so the bounds are exact assertions, not statistics.
+func TestRingDistributionBounds(t *testing.T) {
+	const K = 10000
+	ks := keys(K)
+	for _, n := range []int{3, 5, 8} {
+		r := ringWith(1, 64, n)
+		counts := make(map[string]int)
+		for _, k := range ks {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes own keys", n, len(counts))
+		}
+		fair := float64(K) / float64(n)
+		for node, c := range counts {
+			if ratio := float64(c) / fair; ratio < 0.6 || ratio > 1.4 {
+				t.Errorf("n=%d: node %s owns %d keys (%.2fx fair share %0.f), want within [0.6, 1.4]",
+					n, node, c, ratio, fair)
+			}
+		}
+	}
+}
+
+// Removing one of N nodes must move only the removed node's keys — every
+// other key keeps its owner — and the moved fraction must be about K/N.
+// Same for adding: only keys the new node now owns may change hands.
+func TestRingMinimalMovement(t *testing.T) {
+	const K, N = 10000, 5
+	ks := keys(K)
+	r := ringWith(1, 64, N)
+	before := make(map[string]string, K)
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+
+	r.Remove("n3")
+	moved := 0
+	for _, k := range ks {
+		now := r.Owner(k)
+		if now != before[k] {
+			if before[k] != "n3" {
+				t.Fatalf("remove: key %q moved %s -> %s though n3 was removed", k, before[k], now)
+			}
+			moved++
+		}
+	}
+	if limit := 2 * K / N; moved > limit {
+		t.Errorf("remove: %d keys moved, want <= %d (~K/N)", moved, limit)
+	}
+	if moved == 0 {
+		t.Error("remove: no keys moved at all")
+	}
+
+	r.Add("n3") // restore; movement on add mirrors removal
+	added := 0
+	for _, k := range ks {
+		now := r.Owner(k)
+		if now != before[k] {
+			t.Fatalf("add: key %q owned by %s, was %s before the remove/add cycle", k, now, before[k])
+		}
+		if now == "n3" {
+			added++
+		}
+	}
+	if added == 0 {
+		t.Error("add: restored node owns nothing")
+	}
+}
+
+// Placement is a pure function of (seed, membership): two rings built
+// independently agree on every key, and a different seed disagrees on at
+// least some.
+func TestRingDeterministicPlacement(t *testing.T) {
+	ks := keys(2000)
+	a := ringWith(7, 64, 5)
+	b := ringWith(7, 64, 5)
+	for _, k := range ks {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("same seed: key %q owned by %s vs %s", k, ao, bo)
+		}
+		ar, br := a.Replicas(k, 3), b.Replicas(k, 3)
+		if fmt.Sprint(ar) != fmt.Sprint(br) {
+			t.Fatalf("same seed: key %q replicas %v vs %v", k, ar, br)
+		}
+	}
+	c := ringWith(8, 64, 5)
+	differ := 0
+	for _, k := range ks {
+		if a.Owner(k) != c.Owner(k) {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Error("different seeds produced identical placement for 2000 keys")
+	}
+}
+
+func TestRingReplicas(t *testing.T) {
+	r := ringWith(1, 64, 5)
+	reps := r.Replicas("some-key", 3)
+	if len(reps) != 3 {
+		t.Fatalf("want 3 replicas, got %v", reps)
+	}
+	seen := map[string]bool{}
+	for _, n := range reps {
+		if seen[n] {
+			t.Fatalf("duplicate replica in %v", reps)
+		}
+		seen[n] = true
+	}
+	if reps[0] != r.Owner("some-key") {
+		t.Fatalf("first replica %s is not the owner %s", reps[0], r.Owner("some-key"))
+	}
+	if got := r.Replicas("some-key", 10); len(got) != 5 {
+		t.Fatalf("replicas beyond cluster size: want 5, got %v", got)
+	}
+	if got := NewRing(1, 8).Replicas("k", 2); got != nil {
+		t.Fatalf("empty ring: want nil, got %v", got)
+	}
+}
+
+func TestPickBounded(t *testing.T) {
+	loads := map[string]int{"a": 10, "b": 1, "c": 1}
+	look := func(n string) (int, bool) {
+		l, ok := loads[n]
+		return l, ok
+	}
+	// Owner far over the bound: skipped in favour of the next replica.
+	if got := PickBounded([]string{"a", "b", "c"}, look, 1.25); got != "b" {
+		t.Errorf("overloaded owner: picked %s, want b", got)
+	}
+	// Balanced loads: the owner wins.
+	loads = map[string]int{"a": 2, "b": 2, "c": 2}
+	if got := PickBounded([]string{"a", "b", "c"}, look, 1.25); got != "a" {
+		t.Errorf("balanced: picked %s, want owner a", got)
+	}
+	// Unknown (unhealthy) owner is skipped entirely.
+	loads = map[string]int{"b": 5, "c": 3}
+	if got := PickBounded([]string{"a", "b", "c"}, look, 1.25); got == "a" || got == "" {
+		t.Errorf("unknown owner: picked %q, want a healthy replica", got)
+	}
+	// Everyone over an impossible bound: least-loaded wins.
+	loads = map[string]int{"a": 9, "b": 4, "c": 7}
+	if got := PickBounded([]string{"a", "b", "c"}, look, 0.0001); got != "b" {
+		t.Errorf("all over bound: picked %s, want least-loaded b", got)
+	}
+	// No candidate known at all.
+	loads = map[string]int{}
+	if got := PickBounded([]string{"a", "b"}, look, 1.25); got != "" {
+		t.Errorf("no known loads: picked %q, want \"\"", got)
+	}
+}

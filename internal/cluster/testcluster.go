@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"micgraph/internal/serve"
+)
+
+// TestCluster is the in-process multi-node harness: N full cluster nodes,
+// each a real serve.Server behind a real TCP listener on 127.0.0.1, wired
+// to each other by static membership exactly as N separate daemon
+// processes would be. Tests, the chaos oracle and the cluster-smoke CI
+// job drive it over plain HTTP; Kill gives the abrupt-death semantics of
+// a SIGKILL (listener and live connections drop mid-byte, no drain).
+type TestCluster struct {
+	Nodes []*Node
+	URLs  []string
+
+	servers   []*http.Server
+	listeners []net.Listener
+	cancels   []context.CancelFunc
+	dead      []bool
+}
+
+// TestClusterOptions configures the harness. Zero values work: 2-worker
+// nodes with default ring parameters and 1s probes.
+type TestClusterOptions struct {
+	// Serve is the per-node daemon template (every node gets an identical
+	// copy; ShardID is overwritten per node).
+	Serve serve.Config
+	// Cluster is the membership/ring template (Self and Peers are
+	// overwritten per node).
+	Cluster Config
+}
+
+// StartTestCluster boots an n-node cluster on loopback listeners and
+// starts every node's health probes. Node names are "n1".."n<n>".
+func StartTestCluster(n int, opts TestClusterOptions) (*TestCluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: test cluster needs at least 1 node")
+	}
+	tc := &TestCluster{
+		Nodes:     make([]*Node, n),
+		URLs:      make([]string, n),
+		servers:   make([]*http.Server, n),
+		listeners: make([]net.Listener, n),
+		cancels:   make([]context.CancelFunc, n),
+		dead:      make([]bool, n),
+	}
+	// Listeners first: every node needs the full peer URL list before any
+	// node exists.
+	peers := make([]Peer, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tc.Close()
+			return nil, fmt.Errorf("cluster: test listener: %w", err)
+		}
+		tc.listeners[i] = ln
+		tc.URLs[i] = "http://" + ln.Addr().String()
+		peers[i] = Peer{Name: fmt.Sprintf("n%d", i+1), URL: tc.URLs[i]}
+	}
+	for i := 0; i < n; i++ {
+		cfg := opts.Cluster
+		cfg.Self = peers[i].Name
+		cfg.Peers = peers
+		node, err := NewNode(cfg, opts.Serve)
+		if err != nil {
+			tc.Close()
+			return nil, err
+		}
+		tc.Nodes[i] = node
+		ctx, cancel := context.WithCancel(context.Background())
+		tc.cancels[i] = cancel
+		node.Start(ctx)
+		srv := &http.Server{Handler: node.Handler()}
+		tc.servers[i] = srv
+		go srv.Serve(tc.listeners[i])
+	}
+	return tc, nil
+}
+
+// Kill abruptly stops node i: health probes stop, the listener closes and
+// every live connection (including mid-stream result relays) drops — the
+// in-process equivalent of SIGKILL. In-flight jobs on the dead shard are
+// simply gone; surviving peers evict it from their rings after
+// FailThreshold probe failures.
+func (tc *TestCluster) Kill(i int) {
+	if i < 0 || i >= len(tc.Nodes) || tc.dead[i] {
+		return
+	}
+	tc.dead[i] = true
+	if tc.cancels[i] != nil {
+		tc.cancels[i]()
+	}
+	if tc.servers[i] != nil {
+		tc.servers[i].Close()
+	} else if tc.listeners[i] != nil {
+		tc.listeners[i].Close()
+	}
+}
+
+// Close shuts the whole cluster down. Surviving nodes get a short drain
+// (so their worker runtimes release cleanly) before their listeners
+// close; already-killed nodes are skipped.
+func (tc *TestCluster) Close() {
+	for i := range tc.Nodes {
+		if tc.dead[i] || tc.Nodes[i] == nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		tc.Nodes[i].Drain(ctx)
+		cancel()
+	}
+	for i := range tc.listeners {
+		tc.Kill(i)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,6 +18,13 @@ import (
 type Config struct {
 	// BaseURL is the daemon under load, e.g. "http://127.0.0.1:8377".
 	BaseURL string
+	// Targets, when set, spreads the trace across several endpoints —
+	// cluster entry nodes — round-robin by request index: request i submits
+	// to (and polls) Targets[i % len(Targets)]. Empty means [BaseURL]. The
+	// replayer's accounting scrapes every target's local /metricsz and sums
+	// the lifetime totals, which preserves the conservation check because
+	// each shard's totals satisfy the law independently.
+	Targets []string
 	// Clients bounds concurrent in-flight requests (default 64). The
 	// replayer is open-loop: arrivals fire on the trace schedule no matter
 	// how slow the daemon is, and an arrival that finds every client busy
@@ -44,6 +52,15 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.Targets) == 0 {
+		c.Targets = []string{c.BaseURL}
+	}
+	for i, t := range c.Targets {
+		c.Targets[i] = strings.TrimRight(t, "/")
+	}
+	if c.BaseURL == "" {
+		c.BaseURL = c.Targets[0]
+	}
 	if c.Clients <= 0 {
 		c.Clients = 64
 	}
@@ -84,6 +101,7 @@ type phaseAcc struct {
 	service                             *telemetry.Histogram // request sent -> terminal
 	server                              map[string]*telemetry.Histogram
 	queueDepth, running                 []int64
+	shards                              map[string]int64 // terminal jobs by serving shard
 }
 
 func newPhaseAcc() *phaseAcc {
@@ -91,6 +109,7 @@ func newPhaseAcc() *phaseAcc {
 		latency: telemetry.NewHistogram(),
 		service: telemetry.NewHistogram(),
 		server:  make(map[string]*telemetry.Histogram, len(spanNames)),
+		shards:  make(map[string]int64),
 	}
 	for _, n := range spanNames {
 		a.server[n] = telemetry.NewHistogram()
@@ -144,7 +163,7 @@ func Replay(ctx context.Context, cfg Config, trace *Trace) (*Report, error) {
 	for i := range r.accs {
 		r.accs[i] = newPhaseAcc()
 	}
-	if _, err := r.scrape(ctx); err != nil {
+	if _, err := r.scrape(ctx, true); err != nil {
 		return nil, fmt.Errorf("load: daemon not reachable before replay: %w", err)
 	}
 
@@ -185,11 +204,12 @@ func Replay(ctx context.Context, cfg Config, trace *Trace) (*Report, error) {
 			acc.mu.Unlock()
 			continue
 		}
+		base := cfg.Targets[i%len(cfg.Targets)]
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
 			defer func() { <-r.sem }()
-			r.run(pollCtx, req, target)
+			r.run(pollCtx, base, req, target)
 		}()
 	}
 
@@ -212,16 +232,17 @@ func Replay(ctx context.Context, cfg Config, trace *Trace) (*Report, error) {
 	}
 	stopSampler()
 
-	final, err := r.scrape(context.WithoutCancel(ctx))
+	final, err := r.scrape(context.WithoutCancel(ctx), false)
 	if err != nil {
 		return nil, fmt.Errorf("load: final metrics scrape: %w", err)
 	}
 	return r.report(final), ctx.Err()
 }
 
-// run executes one request end to end: submit, classify the admission
-// outcome, poll to terminal, record latencies and server spans.
-func (r *replayer) run(ctx context.Context, req *Request, target time.Time) {
+// run executes one request end to end against base: submit, classify the
+// admission outcome, poll to terminal, record latencies, server spans and
+// the serving shard.
+func (r *replayer) run(ctx context.Context, base string, req *Request, target time.Time) {
 	acc := r.accs[req.Phase]
 	body, err := json.Marshal(req.Spec)
 	if err != nil {
@@ -232,7 +253,7 @@ func (r *replayer) run(ctx context.Context, req *Request, target time.Time) {
 	acc.sent++
 	acc.mu.Unlock()
 
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/jobs", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/jobs", bytes.NewReader(body))
 	if err != nil {
 		r.bump(&acc.errs, acc)
 		return
@@ -256,7 +277,7 @@ func (r *replayer) run(ctx context.Context, req *Request, target time.Time) {
 	}
 	r.bump(&acc.accepted, acc)
 
-	view, err = r.await(ctx, view.ID)
+	view, err = r.await(ctx, base, view.ID)
 	if err != nil {
 		r.bump(&acc.errs, acc)
 		return
@@ -270,6 +291,9 @@ func (r *replayer) run(ctx context.Context, req *Request, target time.Time) {
 		acc.failed++
 	case serve.StatusCancelled:
 		acc.cancelled++
+	}
+	if view.Shard != "" {
+		acc.shards[view.Shard]++
 	}
 	acc.mu.Unlock()
 	// Latency from the *scheduled* arrival, so client-side dispatch delay
@@ -288,15 +312,16 @@ func (r *replayer) bump(field *int64, acc *phaseAcc) {
 	acc.mu.Unlock()
 }
 
-// await polls the job until it reaches a terminal status or ctx ends.
-func (r *replayer) await(ctx context.Context, id string) (serve.JobView, error) {
+// await polls the job (via the same base it was submitted through) until
+// it reaches a terminal status or ctx ends.
+func (r *replayer) await(ctx context.Context, base, id string) (serve.JobView, error) {
 	for {
 		select {
 		case <-ctx.Done():
 			return serve.JobView{}, ctx.Err()
 		case <-time.After(r.cfg.PollInterval):
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/jobs/"+id, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id, nil)
 		if err != nil {
 			return serve.JobView{}, err
 		}
@@ -317,16 +342,77 @@ func (r *replayer) await(ctx context.Context, id string) (serve.JobView, error) 
 	}
 }
 
-// metricsSnap is the slice of /metricsz the replayer consumes.
+// metricsSnap is the slice of /metricsz the replayer consumes, merged
+// across every target when the trace is spread over several.
 type metricsSnap struct {
 	JobsTotal serve.JobTotals                        `json:"jobs_total"`
 	Queue     serve.QueueStats                       `json:"queue"`
 	Gauges    map[string]int64                       `json:"gauges"`
 	Latency   map[string]telemetry.HistogramSnapshot `json:"latency"`
+
+	perTarget   map[string]serve.JobTotals
+	unreachable []string
 }
 
-func (r *replayer) scrape(ctx context.Context) (*metricsSnap, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/metricsz", nil)
+// scrape fetches every target's local metrics (?scope=local keeps a
+// cluster node from fanning out — the replayer does its own summation)
+// and merges them: lifetime totals and gauges sum, queue high-water marks
+// take the max. When strict, any unreachable target fails the scrape;
+// otherwise dead targets are recorded and skipped — each reachable
+// shard's totals satisfy the conservation law independently, so the
+// merged totals still do. The latency histogram block is kept only for a
+// single-target run (percentiles do not merge honestly).
+func (r *replayer) scrape(ctx context.Context, strict bool) (*metricsSnap, error) {
+	merged := &metricsSnap{Gauges: map[string]int64{}, perTarget: map[string]serve.JobTotals{}}
+	single := len(r.cfg.Targets) == 1
+	for _, base := range r.cfg.Targets {
+		m, err := r.scrapeOne(ctx, base)
+		if err != nil {
+			if strict {
+				return nil, fmt.Errorf("load: %s: %w", base, err)
+			}
+			merged.unreachable = append(merged.unreachable, base)
+			continue
+		}
+		merged.perTarget[base] = m.JobsTotal
+		t := &merged.JobsTotal
+		t.Submitted += m.JobsTotal.Submitted
+		t.Rejected += m.JobsTotal.Rejected
+		t.Accepted += m.JobsTotal.Accepted
+		t.Succeeded += m.JobsTotal.Succeeded
+		t.Failed += m.JobsTotal.Failed
+		t.Cancelled += m.JobsTotal.Cancelled
+		t.InFlight += m.JobsTotal.InFlight
+		q := &merged.Queue
+		q.Workers += m.Queue.Workers
+		q.Depth += m.Queue.Depth
+		q.Queued += m.Queue.Queued
+		q.Submitted += m.Queue.Submitted
+		q.Rejected += m.Queue.Rejected
+		q.Running += m.Queue.Running
+		q.Completed += m.Queue.Completed
+		q.Draining = q.Draining || m.Queue.Draining
+		if m.Queue.QueuedMax > q.QueuedMax {
+			q.QueuedMax = m.Queue.QueuedMax
+		}
+		if m.Queue.RunningMax > q.RunningMax {
+			q.RunningMax = m.Queue.RunningMax
+		}
+		for k, v := range m.Gauges {
+			merged.Gauges[k] += v
+		}
+		if single {
+			merged.Latency = m.Latency
+		}
+	}
+	if len(merged.perTarget) == 0 {
+		return nil, fmt.Errorf("load: no target reachable (%s)", strings.Join(merged.unreachable, ", "))
+	}
+	return merged, nil
+}
+
+func (r *replayer) scrapeOne(ctx context.Context, base string) (*metricsSnap, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metricsz?scope=local", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +440,7 @@ func (r *replayer) sampleGauges(ctx context.Context) {
 			return
 		case <-time.After(r.cfg.SampleInterval):
 		}
-		m, err := r.scrape(ctx)
+		m, err := r.scrape(ctx, false)
 		if err != nil {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"micgraph/internal/serve"
@@ -77,6 +78,10 @@ type PhaseReport struct {
 	Server     map[string]telemetry.HistogramSnapshot `json:"server"`
 	QueueDepth GaugeStats                             `json:"queue_depth"`
 	Running    GaugeStats                             `json:"running"`
+	// Shards counts this phase's terminal jobs by the shard that served
+	// them (from each job's status document); present only against a
+	// cluster, where every job carries its serving shard.
+	Shards map[string]int64 `json:"shards,omitempty"`
 }
 
 // ServerFinal is the daemon's own end-of-run view: lifetime job totals
@@ -87,6 +92,13 @@ type ServerFinal struct {
 	Queue     serve.QueueStats                       `json:"queue"`
 	Gauges    map[string]int64                       `json:"gauges"`
 	Latency   map[string]telemetry.HistogramSnapshot `json:"latency"`
+	// PerTarget breaks JobsTotal down by target endpoint on multi-target
+	// (cluster) runs; each entry independently satisfies the conservation
+	// law, which is why their sum (JobsTotal) does too.
+	PerTarget map[string]serve.JobTotals `json:"per_target,omitempty"`
+	// Unreachable lists targets the final scrape could not reach (a killed
+	// shard); their totals are absent from JobsTotal.
+	Unreachable []string `json:"unreachable,omitempty"`
 }
 
 // Report is the full BENCH_SERVE_0.json document.
@@ -94,6 +106,7 @@ type Report struct {
 	Tool            string        `json:"tool"` // "micload"
 	Seed            uint64        `json:"seed"`
 	BaseURL         string        `json:"base_url"`
+	Targets         []string      `json:"targets,omitempty"` // when the trace was spread round-robin
 	Clients         int           `json:"clients"`
 	TraceDurationNS int64         `json:"trace_duration_ns"`
 	Requests        int           `json:"requests"`
@@ -112,11 +125,16 @@ func (r *replayer) report(final *metricsSnap) *Report {
 		TraceDurationNS: int64(r.trace.Duration()),
 		Requests:        len(r.trace.Requests),
 		Server: ServerFinal{
-			JobsTotal: final.JobsTotal,
-			Queue:     final.Queue,
-			Gauges:    final.Gauges,
-			Latency:   final.Latency,
+			JobsTotal:   final.JobsTotal,
+			Queue:       final.Queue,
+			Gauges:      final.Gauges,
+			Latency:     final.Latency,
+			Unreachable: final.unreachable,
 		},
+	}
+	if len(r.cfg.Targets) > 1 {
+		rep.Targets = r.cfg.Targets
+		rep.Server.PerTarget = final.perTarget
 	}
 	for i, p := range r.trace.Phases {
 		acc := r.accs[i]
@@ -152,6 +170,12 @@ func (r *replayer) report(final *metricsSnap) *Report {
 		for _, n := range spanNames {
 			pr.Server[n] = acc.server[n].Snapshot()
 		}
+		if len(acc.shards) > 0 {
+			pr.Shards = make(map[string]int64, len(acc.shards))
+			for s, c := range acc.shards {
+				pr.Shards[s] = c
+			}
+		}
 		acc.mu.Unlock()
 		rep.Phases = append(rep.Phases, pr)
 	}
@@ -171,8 +195,12 @@ func ms(ns int64) string {
 
 // WriteSummary writes the human-readable per-phase table.
 func (rep *Report) WriteSummary(w io.Writer) {
+	target := rep.BaseURL
+	if len(rep.Targets) > 1 {
+		target = fmt.Sprintf("%d targets (%s)", len(rep.Targets), strings.Join(rep.Targets, ", "))
+	}
 	fmt.Fprintf(w, "micload: seed %d, %d requests over %s against %s (%d clients)\n",
-		rep.Seed, rep.Requests, time.Duration(rep.TraceDurationNS), rep.BaseURL, rep.Clients)
+		rep.Seed, rep.Requests, time.Duration(rep.TraceDurationNS), target, rep.Clients)
 	fmt.Fprintf(w, "%-10s %6s %6s %5s %5s %5s | %9s %9s %9s | %9s %9s | %5s\n",
 		"phase", "sched", "ok", "429", "drop", "err",
 		"p50", "p99", "p999", "srv-queue", "srv-exec", "qmax")

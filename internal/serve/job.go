@@ -169,6 +169,12 @@ type Job struct {
 
 	clock telemetry.Clock // the server's injected time source
 
+	// shard and requestID are the cluster-trace identity stamped on every
+	// result line (both empty on a single-node daemon — lines stay
+	// byte-identical to the pre-cluster format).
+	shard     string
+	requestID string
+
 	mu       sync.Mutex
 	status   string
 	err      string
@@ -181,23 +187,30 @@ type Job struct {
 	done     chan struct{}
 }
 
-func newJob(id string, spec JobSpec, clock telemetry.Clock) *Job {
+func newJob(id string, spec JobSpec, clock telemetry.Clock, shard, requestID string) *Job {
 	if clock == nil {
 		clock = telemetry.System
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Job{
-		ID:      id,
-		Spec:    spec,
-		Result:  NewStream(),
-		clock:   clock,
-		status:  StatusQueued,
-		created: clock.Now(),
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
+	j := &Job{
+		ID:        id,
+		Spec:      spec,
+		Result:    NewStream(),
+		clock:     clock,
+		shard:     shard,
+		requestID: requestID,
+		status:    StatusQueued,
+		created:   clock.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
 	}
+	j.Result.SetStamp(shard, requestID)
+	return j
 }
+
+// RequestID returns the propagated submission trace ID ("" when none).
+func (j *Job) RequestID() string { return j.requestID }
 
 // now reads the job's injected clock (the runner's timestamp source).
 func (j *Job) now() time.Time { return j.clock.Now() }
@@ -273,7 +286,14 @@ func (j *Job) finish(status, errMsg string) {
 
 // JobView is the JSON shape of GET /jobs/{id}.
 type JobView struct {
-	ID          string  `json:"id"`
+	ID string `json:"id"`
+	// Shard names the cluster node that owns (ran) the job; empty on a
+	// single-node daemon.
+	Shard string `json:"shard,omitempty"`
+	// RequestID is the propagated X-Micserved-Request-ID of the submission
+	// that created the job, when one was; it joins the entry node's access
+	// trace to the owning shard's result stream.
+	RequestID   string  `json:"request_id,omitempty"`
 	Kind        string  `json:"kind"`
 	Status      string  `json:"status"`
 	Error       string  `json:"error,omitempty"`
@@ -294,6 +314,8 @@ func (j *Job) View() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID:          j.ID,
+		Shard:       j.shard,
+		RequestID:   j.requestID,
 		Kind:        j.Spec.Kind,
 		Status:      j.status,
 		Error:       j.err,

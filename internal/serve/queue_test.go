@@ -17,14 +17,14 @@ func TestQueueAdmissionControl(t *testing.T) {
 	})
 
 	// First job occupies the worker, second fills the queue, third bounces.
-	if err := q.Submit(newJob("a", JobSpec{}, nil)); err != nil {
+	if err := q.Submit(newJob("a", JobSpec{}, nil, "", "")); err != nil {
 		t.Fatal(err)
 	}
 	<-started // "a" is running; the queue slot is free again
-	if err := q.Submit(newJob("b", JobSpec{}, nil)); err != nil {
+	if err := q.Submit(newJob("b", JobSpec{}, nil, "", "")); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(newJob("c", JobSpec{}, nil)); !errors.Is(err, ErrQueueFull) {
+	if err := q.Submit(newJob("c", JobSpec{}, nil, "", "")); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit = %v, want ErrQueueFull", err)
 	}
 	st := q.Stats()
@@ -38,7 +38,7 @@ func TestQueueAdmissionControl(t *testing.T) {
 	if err := q.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(newJob("d", JobSpec{}, nil)); !errors.Is(err, ErrDraining) {
+	if err := q.Submit(newJob("d", JobSpec{}, nil, "", "")); !errors.Is(err, ErrDraining) {
 		t.Fatalf("submit after drain = %v, want ErrDraining", err)
 	}
 	st = q.Stats()
@@ -56,7 +56,7 @@ func TestQueueDrainWaitsForInFlight(t *testing.T) {
 		<-release
 		finished.Store(true)
 	})
-	if err := q.Submit(newJob("a", JobSpec{}, nil)); err != nil {
+	if err := q.Submit(newJob("a", JobSpec{}, nil, "", "")); err != nil {
 		t.Fatal(err)
 	}
 	<-started

@@ -163,45 +163,16 @@ func (s *Server) runExport(ctx context.Context, j *Job) error {
 	return err
 }
 
-// loadGraph fetches the job's graph through the cache; concurrent jobs on
+// loadGraph fetches the job's graph through the store; concurrent jobs on
 // the same graph dedup to one graphio.Load / suite generation.
 func (s *Server) loadGraph(ctx context.Context, spec GraphSpec) (*graph.Graph, error) {
-	v, err := s.cache.Get(ctx, spec.Key(), func(context.Context) (any, int64, error) {
-		g, err := graphio.LoadInjected(spec.File, spec.Suite, spec.Scale, s.cfg.Injector)
-		if err != nil {
-			return nil, 0, err
-		}
-		return g, GraphBytes(g), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*graph.Graph), nil
+	return s.store.Graph(ctx, spec)
 }
 
 // loadSuite fetches (or generates once) the experiment suite at the given
-// scale. Shuffled copies are materialised inside the loader so concurrent
-// sweep jobs share them read-only.
+// scale through the store.
 func (s *Server) loadSuite(ctx context.Context, scale int) (*core.Suite, error) {
-	key := fmt.Sprintf("sweep:suite@%d", scale)
-	v, err := s.cache.Get(ctx, key, func(context.Context) (any, int64, error) {
-		suite, err := core.NewSuite(scale)
-		if err != nil {
-			return nil, 0, err
-		}
-		var bytes int64
-		for _, g := range suite.Graphs {
-			bytes += GraphBytes(g)
-		}
-		for _, g := range suite.Shuffled() {
-			bytes += GraphBytes(g)
-		}
-		return suite, bytes, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*core.Suite), nil
+	return s.store.Suite(ctx, scale)
 }
 
 // runSweep runs the requested experiments against the shared cached suite

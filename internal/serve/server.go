@@ -52,6 +52,20 @@ type Config struct {
 	KNF  *mic.Machine
 	Host *mic.Machine
 
+	// Store, when set, replaces the default single-node CacheStore (built
+	// from CacheBytes and Injector) as the server's data plane. Cluster
+	// shards leave this nil too — sharding is a placement decision made
+	// above the server — but the seam lets tests substitute failing or
+	// instrumented stores without touching the cache.
+	Store Store
+
+	// ShardID names this server inside a cluster. When set, job IDs are
+	// prefixed "<shard>-" so they are globally unique and routable, every
+	// result line is stamped with "shard" (and the submitting request's ID
+	// when one was propagated), and JobView carries the shard. Empty for
+	// the single-node daemon, whose behaviour stays byte-identical.
+	ShardID string
+
 	// Clock is the time source behind every timestamp the server stamps:
 	// job creation/start/finish, latency spans, uptime (default
 	// telemetry.System). Tests inject a fake to make spans deterministic;
@@ -147,7 +161,7 @@ func (l latencySet) snapshot() map[string]telemetry.HistogramSnapshot {
 // httptest.
 type Server struct {
 	cfg      Config
-	cache    *Cache
+	store    Store
 	queue    *Queue
 	counters *telemetry.Counters
 	lat      latencySet
@@ -169,9 +183,13 @@ type Server struct {
 // New builds a server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	store := cfg.Store
+	if store == nil {
+		store = NewCacheStore(cfg.CacheBytes, cfg.Injector)
+	}
 	s := &Server{
 		cfg:      cfg,
-		cache:    NewCache(cfg.CacheBytes),
+		store:    store,
 		counters: telemetry.NewCounters(cfg.KernelWorkers),
 		lat:      newLatencySet(),
 		jobs:     make(map[string]*Job),
@@ -234,8 +252,17 @@ func (s *Server) Totals() JobTotals {
 	return t
 }
 
-// Cache exposes the graph cache (stats, invalidation).
-func (s *Server) Cache() *Cache { return s.cache }
+// Store exposes the server's data plane.
+func (s *Server) Store() Store { return s.store }
+
+// Cache exposes the graph cache (stats, invalidation) when the server
+// runs on the default CacheStore, nil when a custom Store was injected.
+func (s *Server) Cache() *Cache {
+	if cs, ok := s.store.(*CacheStore); ok {
+		return cs.Cache()
+	}
+	return nil
+}
 
 // Queue exposes the job queue (stats, direct drains in tests).
 func (s *Server) Queue() *Queue { return s.queue }
@@ -244,6 +271,15 @@ func (s *Server) Queue() *Queue { return s.queue }
 // or the admission error (ErrQueueFull, ErrDraining, or a validation
 // error).
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitRequest(spec, "")
+}
+
+// SubmitRequest is Submit with a propagated request ID: the
+// X-Micserved-Request-ID value a cluster entry node stamped on the
+// forwarded submission (or "" when none was). The ID is echoed on the
+// job's view and on every result line of a sharded job, which is what
+// makes a cross-shard trace joinable in the JSONL logs.
+func (s *Server) SubmitRequest(spec JobSpec, requestID string) (*Job, error) {
 	if err := spec.normalize(); err != nil {
 		s.mu.Lock()
 		s.totals.Submitted++
@@ -261,11 +297,16 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
+	if s.cfg.ShardID != "" {
+		// Shard-prefixed IDs are globally unique across the cluster and
+		// carry their owner, so any entry node can route by ID alone.
+		id = s.cfg.ShardID + "-" + id
+	}
 	s.totals.Submitted++
 	s.totals.Accepted++
 	s.mu.Unlock()
 
-	j := newJob(id, spec, s.cfg.Clock)
+	j := newJob(id, spec, s.cfg.Clock, s.cfg.ShardID, requestID)
 	s.register(j)
 	if err := s.queue.Submit(j); err != nil {
 		s.unregister(id)
@@ -442,6 +483,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// RequestIDHeader carries a submission's trace ID across cluster hops:
+// the entry node stamps it on the forwarded request, the owning shard
+// echoes it on responses and result lines.
+const RequestIDHeader = "X-Micserved-Request-ID"
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
@@ -450,7 +496,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job spec: %w", err))
 		return
 	}
-	j, err := s.Submit(spec)
+	rid := r.Header.Get(RequestIDHeader)
+	if rid != "" {
+		w.Header().Set(RequestIDHeader, rid)
+	}
+	j, err := s.SubmitRequest(spec, rid)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After",
@@ -502,6 +552,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
 		return
 	}
+	if rid := j.RequestID(); rid != "" {
+		w.Header().Set(RequestIDHeader, rid)
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flush := func() {}
@@ -530,9 +583,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		byStatus[j.Status()]++
 	}
 	s.mu.Unlock()
-	cache := s.cache.Stats()
+	cache := s.store.Stats()
 	queue := s.queue.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"uptime_seconds": s.cfg.Clock.Now().Sub(s.started).Seconds(),
 		"counters":       s.counters.Snapshot(),
 		"cache":          cache,
@@ -555,5 +608,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			"cache_evictions":      cache.Evictions,
 			"cache_resident_bytes": cache.ResidentBytes,
 		},
-	})
+	}
+	if s.cfg.ShardID != "" {
+		body["shard"] = s.cfg.ShardID
+	}
+	writeJSON(w, http.StatusOK, body)
 }

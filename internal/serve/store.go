@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"micgraph/internal/core"
+	"micgraph/internal/fault"
+	"micgraph/internal/graph"
+	"micgraph/internal/graphio"
+)
+
+// Store is the serving layer's data plane: everything a job runner needs
+// to get a resident graph or experiment suite. The single-node daemon's
+// implementation is CacheStore (the byte-budgeted singleflight LRU this
+// package has always had); a cluster shard uses exactly the same
+// implementation for the slice of the key space it owns — sharding is a
+// placement decision layered *above* the store, never inside it, which is
+// what keeps a corrupted or fault-injected load on one shard from ever
+// touching another shard's resident entries.
+type Store interface {
+	// Graph returns the graph named by spec, loading it on a miss.
+	// Concurrent calls for one key dedup to a single load.
+	Graph(ctx context.Context, spec GraphSpec) (*graph.Graph, error)
+	// Suite returns the experiment suite at the given shrink scale,
+	// generating it once and sharing it read-only afterwards.
+	Suite(ctx context.Context, scale int) (*core.Suite, error)
+	// Stats snapshots cache activity for /metricsz.
+	Stats() CacheStats
+	// Invalidate drops the resident entry for key (if any) so the next
+	// Graph/Suite call reloads it.
+	Invalidate(key string)
+}
+
+// SuiteKey is the store key of the generated experiment suite at scale.
+func SuiteKey(scale int) string { return fmt.Sprintf("sweep:suite@%d", scale) }
+
+// CacheStore is the trivial, single-node Store: a byte-budgeted LRU cache
+// in front of graphio loads and suite generation, with singleflight dedup
+// and generation-based invalidation. Fault injection (when armed) flows
+// through every load, so an injected read error fails the job that drew
+// it and is never cached.
+type CacheStore struct {
+	cache    *Cache
+	injector *fault.Injector
+}
+
+// NewCacheStore builds the single-node store with the given byte budget.
+// injector may be nil (no fault injection).
+func NewCacheStore(budgetBytes int64, injector *fault.Injector) *CacheStore {
+	return &CacheStore{cache: NewCache(budgetBytes), injector: injector}
+}
+
+// Cache exposes the underlying cache (stats, direct invalidation in tests).
+func (st *CacheStore) Cache() *Cache { return st.cache }
+
+// Graph fetches the named graph through the cache; concurrent jobs on the
+// same graph dedup to one graphio.Load / suite generation.
+func (st *CacheStore) Graph(ctx context.Context, spec GraphSpec) (*graph.Graph, error) {
+	v, err := st.cache.Get(ctx, spec.Key(), func(context.Context) (any, int64, error) {
+		g, err := graphio.LoadInjected(spec.File, spec.Suite, spec.Scale, st.injector)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, GraphBytes(g), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graph.Graph), nil
+}
+
+// Suite fetches (or generates once) the experiment suite at the given
+// scale. Shuffled copies are materialised inside the loader so concurrent
+// sweep jobs share them read-only.
+func (st *CacheStore) Suite(ctx context.Context, scale int) (*core.Suite, error) {
+	v, err := st.cache.Get(ctx, SuiteKey(scale), func(context.Context) (any, int64, error) {
+		suite, err := core.NewSuite(scale)
+		if err != nil {
+			return nil, 0, err
+		}
+		var bytes int64
+		for _, g := range suite.Graphs {
+			bytes += GraphBytes(g)
+		}
+		for _, g := range suite.Shuffled() {
+			bytes += GraphBytes(g)
+		}
+		return suite, bytes, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Suite), nil
+}
+
+// Stats snapshots the cache counters.
+func (st *CacheStore) Stats() CacheStats { return st.cache.Stats() }
+
+// Invalidate drops key's resident entry.
+func (st *CacheStore) Invalidate(key string) { st.cache.Invalidate(key) }
+
+// Placement maps a job's data key to the node(s) that should serve it.
+// The single-node daemon is the trivial implementation (everything is
+// local); a cluster implements it with a seeded consistent-hash ring so
+// every node derives the same answer without coordination.
+type Placement interface {
+	// Owner returns the node that owns key ("" when no node is available).
+	Owner(key string) string
+	// Replicas returns up to r distinct nodes for key, owner first. Read
+	// jobs on hot graphs may be served by any of them; writes and cache
+	// fills beyond the replica set stay with the owner.
+	Replicas(key string, r int) []string
+}
+
+// SinglePlacement is the trivial Placement: one node owns every key.
+type SinglePlacement string
+
+// Owner returns the single node for every key.
+func (s SinglePlacement) Owner(string) string { return string(s) }
+
+// Replicas returns the single node for every key.
+func (s SinglePlacement) Replicas(string, int) []string { return []string{string(s)} }
+
+// PlacementKey is the data key placement routes a job by: the graph cache
+// key for kernel and export jobs, the suite cache key for sweeps. Jobs
+// that share a key share cache residency, so routing by it maximises hit
+// rates and keeps a cache miss confined to the shard that owns the key.
+func (sp JobSpec) PlacementKey() string {
+	if sp.Kind == KindSweep {
+		scale := sp.SweepScale
+		if scale <= 0 {
+			scale = 4
+		}
+		return SuiteKey(scale)
+	}
+	// Mirror normalize()'s scale default so a spec routed before admission
+	// and the cache key the owner computes after it always agree.
+	g := sp.Graph
+	if g.File == "" && g.Scale <= 0 {
+		g.Scale = 4
+	}
+	return g.Key()
+}

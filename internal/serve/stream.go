@@ -16,6 +16,7 @@ type Stream struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	buf    []byte
+	stamp  []byte // cluster identity spliced into every line ("" = none)
 	closed bool
 }
 
@@ -26,6 +27,34 @@ func NewStream() *Stream {
 	return s
 }
 
+// SetStamp arms per-line cluster stamping: every subsequently written
+// object line gains "shard" (and "request_id" when non-empty) fields, so
+// a sharded job's JSONL names its serving shard on every record and a
+// cross-shard trace joins on the propagated request ID. Both empty is a
+// no-op, keeping single-node output byte-identical. Call before the job
+// starts writing.
+func (s *Stream) SetStamp(shard, requestID string) {
+	if shard == "" && requestID == "" {
+		return
+	}
+	fields := map[string]string{}
+	if shard != "" {
+		fields["shard"] = shard
+	}
+	if requestID != "" {
+		fields["request_id"] = requestID
+	}
+	b, err := json.Marshal(fields)
+	if err != nil {
+		return // unreachable: map[string]string always marshals
+	}
+	s.mu.Lock()
+	// Keep `,"shard":"...","request_id":"..."` — the tail spliced before a
+	// line's closing brace.
+	s.stamp = append([]byte{','}, b[1:len(b)-1]...)
+	s.mu.Unlock()
+}
+
 // WriteLine marshals v and appends it as one line. Lines written after
 // Close are dropped (the job was cancelled mid-write; its tail is moot).
 func (s *Stream) WriteLine(v any) error {
@@ -34,6 +63,15 @@ func (s *Stream) WriteLine(v any) error {
 		return err
 	}
 	s.mu.Lock()
+	// Splice the cluster stamp into object lines: every line this package
+	// writes is a non-empty JSON object, so inserting before the final '}'
+	// is always valid JSON.
+	if len(s.stamp) > 0 && len(b) > 2 && b[0] == '{' && b[len(b)-1] == '}' {
+		line := make([]byte, 0, len(b)+len(s.stamp))
+		line = append(line, b[:len(b)-1]...)
+		line = append(line, s.stamp...)
+		b = append(line, '}')
+	}
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil

@@ -27,6 +27,14 @@ type daemonConfig struct {
 	readRate      float64
 	writeRate     float64
 	stragglerRate float64
+
+	// Cluster mode: a non-empty name turns the -name/-peers flags on.
+	name          string
+	peers         string
+	replication   int
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	probeFails    int
 }
 
 func (c daemonConfig) args(addr string) []string {
@@ -53,6 +61,21 @@ func (c daemonConfig) args(addr string) []string {
 	}
 	if c.stragglerRate > 0 {
 		a = append(a, "-straggler-rate", fmt.Sprint(c.stragglerRate))
+	}
+	if c.name != "" {
+		a = append(a, "-name", c.name, "-peers", c.peers)
+		if c.replication > 0 {
+			a = append(a, "-replication", fmt.Sprint(c.replication))
+		}
+		if c.probeInterval > 0 {
+			a = append(a, "-probe-interval", c.probeInterval.String())
+		}
+		if c.probeTimeout > 0 {
+			a = append(a, "-probe-timeout", c.probeTimeout.String())
+		}
+		if c.probeFails > 0 {
+			a = append(a, "-probe-fails", fmt.Sprint(c.probeFails))
+		}
 	}
 	return a
 }
@@ -104,6 +127,31 @@ func startDaemon(t tb, bin string, cfg daemonConfig) *daemon {
 	}
 	t.Fatalf("micserved did not become healthy after 3 attempts; last stderr:\n%s", lastErr)
 	return nil
+}
+
+// startDaemonAt starts micserved bound to a pre-agreed address. Cluster
+// peers must know each other's URLs before any process starts, so the
+// pick-then-bind retry of startDaemon does not apply here; a collision on
+// a just-probed free port surfaces as a startup failure.
+func startDaemonAt(t tb, bin string, cfg daemonConfig, addr string) *daemon {
+	t.Helper()
+	d := &daemon{t: t, cfg: cfg, addr: addr, exited: make(chan struct{})}
+	d.cmd = exec.Command(bin, cfg.args(d.addr)...)
+	d.cmd.Stderr = &lockedWriter{d: d}
+	d.cmd.Stdout = d.cmd.Stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("starting micserved %s: %v", cfg.name, err)
+	}
+	go func() {
+		d.cmd.Wait()
+		close(d.exited)
+	}()
+	if !d.waitHealthy(20 * time.Second) {
+		out := d.stderrText()
+		d.kill()
+		t.Fatalf("micserved %s at %s did not become healthy; stderr:\n%s", cfg.name, addr, out)
+	}
+	return d
 }
 
 // freePort asks the kernel for an unused TCP port.
@@ -206,6 +254,20 @@ func (d *daemon) terminate() string {
 		d.t.Fatalf("INVARIANT drain-clean: micserved exited %d after SIGTERM; stderr:\n%s", code, d.stderrText())
 	}
 	return d.stderrText()
+}
+
+// killExpected SIGKILLs the process as a scripted chaos action (shard
+// kill). Unlike kill it first marks the exit expected, so a later
+// checkAlive on this daemon does not read the corpse as a violation.
+func (d *daemon) killExpected() {
+	d.t.Helper()
+	d.mu.Lock()
+	d.expectExit = true
+	d.mu.Unlock()
+	if err := d.cmd.Process.Kill(); err != nil {
+		d.t.Fatalf("SIGKILL %s: %v", d.cfg.name, err)
+	}
+	<-d.exited
 }
 
 // kill hard-stops the process (cleanup only; never part of an invariant).
