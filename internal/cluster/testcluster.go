@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"micgraph/internal/serve"
@@ -24,6 +25,7 @@ type TestCluster struct {
 	listeners []net.Listener
 	cancels   []context.CancelFunc
 	dead      []bool
+	serveWG   sync.WaitGroup
 }
 
 // TestClusterOptions configures the harness. Zero values work: 2-worker
@@ -79,7 +81,11 @@ func StartTestCluster(n int, opts TestClusterOptions) (*TestCluster, error) {
 		node.Start(ctx)
 		srv := &http.Server{Handler: node.Handler()}
 		tc.servers[i] = srv
-		go srv.Serve(tc.listeners[i])
+		tc.serveWG.Add(1)
+		go func(srv *http.Server, ln net.Listener) {
+			defer tc.serveWG.Done()
+			srv.Serve(ln) // returns ErrServerClosed on Kill/Close
+		}(srv, tc.listeners[i])
 	}
 	return tc, nil
 }
@@ -119,4 +125,7 @@ func (tc *TestCluster) Close() {
 	for i := range tc.listeners {
 		tc.Kill(i)
 	}
+	// Every serve loop has a closed listener now; reap the goroutines so
+	// nothing from this cluster outlives Close.
+	tc.serveWG.Wait()
 }
