@@ -315,11 +315,13 @@ func (r *replayer) bump(field *int64, acc *phaseAcc) {
 // await polls the job (via the same base it was submitted through) until
 // it reaches a terminal status or ctx ends.
 func (r *replayer) await(ctx context.Context, base, id string) (serve.JobView, error) {
+	poll := time.NewTicker(r.cfg.PollInterval)
+	defer poll.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return serve.JobView{}, ctx.Err()
-		case <-time.After(r.cfg.PollInterval):
+		case <-poll.C:
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id, nil)
 		if err != nil {
@@ -434,11 +436,13 @@ func (r *replayer) scrapeOne(ctx context.Context, base string) (*metricsSnap, er
 // sampleGauges records queue depth and in-flight jobs into the phase the
 // sample falls in, at the configured cadence, until ctx ends.
 func (r *replayer) sampleGauges(ctx context.Context) {
+	tick := time.NewTicker(r.cfg.SampleInterval)
+	defer tick.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(r.cfg.SampleInterval):
+		case <-tick.C:
 		}
 		m, err := r.scrape(ctx, false)
 		if err != nil {
