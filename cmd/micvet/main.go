@@ -1,6 +1,8 @@
-// Command micvet runs the repository's custom static-analysis suite: five
+// Command micvet runs the repository's custom static-analysis suite: nine
 // analyzers that enforce the simulator's determinism, cancellation, and
-// concurrency invariants (see internal/analysis and DESIGN.md).
+// concurrency invariants, four of them (lockhold, goroleak, resclose,
+// atomicmix) backed by the cross-package facts engine (see
+// internal/analysis and DESIGN.md).
 //
 // Usage:
 //
@@ -9,7 +11,14 @@
 // Packages default to ./... relative to the current directory. The exit
 // status is 1 when any diagnostic is reported, 2 on usage or load errors.
 // Individual findings can be suppressed with a `//micvet:allow <analyzer>
-// <reason>` comment on (or directly above) the offending line.
+// <reason>` comment on (or directly above) the offending line; the
+// analyzer name must be one of the nine — anything else is itself a
+// diagnostic.
+//
+// -json emits a deterministic machine-readable report: an array (never
+// null) of {file, line, col, analyzer, message} objects sorted by file,
+// line, column, then analyzer, with file paths relative to the current
+// directory so the output is stable across checkouts.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"micgraph/internal/analysis"
@@ -69,7 +79,7 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(jsonReport(diags)); err != nil {
 			fmt.Fprintf(os.Stderr, "micvet: %v\n", err)
 			os.Exit(2)
 		}
@@ -82,4 +92,39 @@ func main() {
 		exitCode = 1
 	}
 	os.Exit(exitCode)
+}
+
+// jsonDiag is the stable -json schema; the field set and order are part of
+// micvet's interface (CI diffs two runs byte-for-byte).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport converts sorted diagnostics to the JSON schema, relativizing
+// file paths against the current directory so output does not depend on
+// where the repository is checked out. Always returns a non-nil slice:
+// the clean run is `[]`, not `null`.
+func jsonReport(diags []analysis.Diagnostic) []jsonDiag {
+	cwd, _ := os.Getwd()
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, jsonDiag{
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
 }

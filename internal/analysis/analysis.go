@@ -1,8 +1,10 @@
 // Package analysis is a self-contained static-analysis framework plus the
-// micvet analyzer suite that enforces this repository's simulator
-// invariants: determinism of the mic machine model, wall-clock hygiene in
-// the kernels, single-discipline atomic field access, cancellation on
-// runtime loop backedges, and fault-injection propagation.
+// micvet analyzer suite that enforces this repository's simulator and
+// serving invariants: determinism of the mic machine model, wall-clock
+// hygiene in the kernels, single-discipline atomic field access (within a
+// package and, via facts, across packages), cancellation on runtime loop
+// backedges, fault-injection propagation, no blocking calls under
+// serve/cluster mutexes, goroutine ownership, and resource lifecycle.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Diagnostic) so analyzers read idiomatically
@@ -13,13 +15,20 @@
 // types.Info, while imports outside the module are satisfied from the
 // compiler's export data located via `go list -deps -export`.
 //
+// Before any analyzer runs, the facts engine (see facts.go) computes
+// per-function summaries bottom-up over the import order and exposes them
+// on Pass.Facts, so analyzers reason across package boundaries the way
+// go/analysis Facts allow.
+//
 // Diagnostics may be suppressed per line with a trailing or preceding
 // comment of the form:
 //
 //	//micvet:allow <analyzer> <reason>
 //
-// The reason is mandatory by convention (reviewers look for it), though
-// only the analyzer name is machine-checked.
+// The analyzer name is machine-checked: a directive naming an unknown
+// analyzer (or naming none) is itself a diagnostic, so stale or blanket
+// suppressions cannot rot silently. The reason is mandatory by convention
+// (reviewers look for it).
 package analysis
 
 import (
@@ -51,6 +60,9 @@ type Pass struct {
 	// name, which lets scope matching work identically in tests.
 	PkgPath string
 	Info    *types.Info
+	// Facts holds the cross-package function summaries and field
+	// disciplines computed before the analyzers ran (nil-safe to query).
+	Facts *FactSet
 
 	diagnostics []Diagnostic
 	suppressed  suppressionIndex
@@ -93,7 +105,7 @@ func (s suppressionIndex) covers(analyzer string, pos token.Position) bool {
 		return false
 	}
 	for _, name := range lines[pos.Line] {
-		if name == analyzer || name == "all" {
+		if name == analyzer {
 			return true
 		}
 	}
@@ -101,8 +113,17 @@ func (s suppressionIndex) covers(analyzer string, pos token.Position) bool {
 }
 
 // buildSuppressions scans file comments for //micvet:allow annotations.
-func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+// Suppressions are analyzer-scoped: the first field must name a known
+// analyzer (there is deliberately no blanket "all"), and a directive that
+// names none or an unknown one is reported as a diagnostic of its own so
+// it cannot silently suppress nothing — or everything.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	idx := make(suppressionIndex)
+	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -112,30 +133,60 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex 
 					continue
 				}
 				fields := strings.Fields(strings.TrimPrefix(text, "micvet:allow"))
+				pos := fset.Position(c.Pos())
 				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "micvet",
+						Pos:      pos,
+						Message:  "micvet:allow directive missing analyzer name (use //micvet:allow <analyzer> <reason>)",
+					})
 					continue
 				}
-				pos := fset.Position(c.Pos())
+				name := fields[0]
+				if !known[name] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "micvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("micvet:allow names unknown analyzer %q (valid: %s)", name, strings.Join(analyzerNames(), ", ")),
+					})
+					continue
+				}
 				lines := idx[pos.Filename]
 				if lines == nil {
 					lines = make(map[int][]string)
 					idx[pos.Filename] = lines
 				}
-				name := fields[0]
 				lines[pos.Line] = append(lines[pos.Line], name)
 				lines[pos.Line+1] = append(lines[pos.Line+1], name)
 			}
 		}
 	}
-	return idx
+	return idx, bad
 }
 
-// RunAnalyzers applies each analyzer to each package and returns all
-// diagnostics sorted by position then analyzer name.
+func analyzerNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// RunAnalyzers computes cross-package facts for every loaded package,
+// then applies each analyzer to each non-FactsOnly package and returns
+// all diagnostics sorted by position then analyzer name.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts, err := ComputeFacts(pkgs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		supp := buildSuppressions(pkg.Fset, pkg.Files)
+		if pkg.FactsOnly {
+			continue
+		}
+		supp, badDirectives := buildSuppressions(pkg.Fset, pkg.Files)
+		out = append(out, badDirectives...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:   a,
@@ -144,6 +195,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:        pkg.Types,
 				PkgPath:    pkg.Path,
 				Info:       pkg.Info,
+				Facts:      facts,
 				suppressed: supp,
 			}
 			if err := a.Run(pass); err != nil {

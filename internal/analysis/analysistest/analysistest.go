@@ -5,7 +5,9 @@
 //
 //	// want "regexp"
 //
-// (several quoted regexps may follow one want). Run fails the test when a
+// (several quoted regexps may follow one want; backquoted Go string
+// literals are accepted too, which keeps regexp escapes readable). Run
+// fails the test when a
 // diagnostic has no matching want on its line, or a want goes unmatched —
 // so fixtures document both the positive cases an analyzer must catch and
 // the negative cases it must stay silent on.
@@ -30,7 +32,7 @@ type expectation struct {
 	matched bool
 }
 
-var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+var wantRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
 
 // Run loads the fixture packages at the given paths (relative to root),
 // applies the analyzer, and checks its diagnostics against the packages'

@@ -4,8 +4,12 @@ package analysis
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicField,
+		AtomicMix,
 		CtxLoop,
 		FaultSite,
+		Goroleak,
+		Lockhold,
+		Resclose,
 		SimDeterminism,
 		Wallclock,
 	}

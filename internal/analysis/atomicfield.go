@@ -22,37 +22,12 @@ var AtomicField = &Analyzer{
 
 func runAtomicField(pass *Pass) error {
 	// Pass 1: fields accessed atomically, and the selector nodes that do so.
+	atomicUses := collectAtomicSelectors(pass.Info, pass.Files)
 	atomicFields := map[*types.Var]bool{}
-	atomicUses := map[*ast.SelectorExpr]bool{}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := calleeFunc(pass.Info, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
-				return true
-			}
-			if fn.Type().(*types.Signature).Recv() != nil {
-				return true // methods of atomic.Int64 etc. are type-safe
-			}
-			for _, arg := range call.Args {
-				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
-				if !ok || unary.Op.String() != "&" {
-					continue
-				}
-				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
-				if !ok {
-					continue
-				}
-				if field := fieldOf(pass.Info, sel); field != nil {
-					atomicFields[field] = true
-					atomicUses[sel] = true
-				}
-			}
-			return true
-		})
+	for sel := range atomicUses {
+		if field := fieldOf(pass.Info, sel); field != nil {
+			atomicFields[field] = true
+		}
 	}
 	if len(atomicFields) == 0 {
 		return nil

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicMix generalizes atomicfield across package boundaries via the
+// facts engine: an exported struct field whose address is passed to a
+// sync/atomic function in any analyzed package may never be read or
+// written plainly in another, and vice versa. Both sides of a conflict
+// are reported (each package sees the other's discipline through facts),
+// which is deliberate: either site may be the one to fix. atomicfield
+// retains the same-package case, so the two analyzers never double-report
+// one access. Limitation shared with go/analysis facts: two packages that
+// conflict over a third package's field are each compared against the
+// facts computed before them in import order, so a conflict is only
+// visible once both packages are in the analysis universe.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "an exported struct field accessed via sync/atomic in one package must never be accessed plainly in " +
+		"another (cross-package mixed access is a data race invisible to per-package analysis)",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	atomicUses := collectAtomicSelectors(pass.Info, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldOf(pass.Info, sel)
+			if field == nil || !field.Exported() {
+				return true
+			}
+			id := fieldIDFromSelection(pass.Info, sel)
+			if id == "" {
+				return true
+			}
+			if atomicUses[sel] {
+				if others := otherPackages(pass.Facts.PlainAccessors(id), pass.PkgPath); len(others) > 0 {
+					pass.Reportf(sel.Pos(), "atomic access to field %s, which package %s accesses plainly: cross-package mixed access is a data race; use one discipline everywhere",
+						shortMutex(id), strings.Join(others, ", "))
+				}
+			} else {
+				if others := otherPackages(pass.Facts.AtomicAccessors(id), pass.PkgPath); len(others) > 0 {
+					pass.Reportf(sel.Pos(), "plain access to field %s, which package %s accesses with sync/atomic: cross-package mixed access is a data race; use the same atomic discipline everywhere",
+						shortMutex(id), strings.Join(others, ", "))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// otherPackages filters self out of a fact accessor list.
+func otherPackages(pkgs []string, self string) []string {
+	var out []string
+	for _, p := range pkgs {
+		if p != self {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+	"micgraph/internal/analysis/analysistest"
+)
+
+// TestAtomicMix checks cross-package atomic/plain conflicts through the
+// facts engine: atomicprov fixes each field's discipline, and atomicmix's
+// accesses are judged against those imported facts — a plain read of an
+// atomic field and an atomic load of a plain field are both flagged, while
+// matching the provider's discipline stays silent.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.AtomicMix, "atomicmix")
+}

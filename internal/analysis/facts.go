@@ -1,0 +1,666 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// This file is the fact-propagation engine: per-function concurrency
+// summaries (FuncFact) and per-package field-access disciplines computed
+// bottom-up over the import order and carried across package boundaries,
+// analogous to golang.org/x/tools go/analysis Facts but stdlib-only like
+// the rest of the framework. ComputeFacts runs before the analyzers;
+// every package's facts are serialized and re-imported through the JSON
+// codec on every run, so the export/import cycle is exercised constantly
+// rather than only in tests.
+
+// FuncFact summarizes one function or method for cross-package analysis.
+// Facts are monotone (bools only flip to true, sets only grow), which is
+// what lets ComputeFacts reach a fixpoint over intra-package recursion.
+type FuncFact struct {
+	// MayBlock: the function can park its goroutine — a channel operation,
+	// a select with no default, network or process I/O, or a call to a
+	// function that may block. BlockVia names the root cause.
+	MayBlock bool   `json:"may_block,omitempty"`
+	BlockVia string `json:"block_via,omitempty"`
+	// MayPanic: an explicit panic (direct or transitive) not neutralized
+	// by a deferred recover in this function.
+	MayPanic bool `json:"may_panic,omitempty"`
+	// Spawns: starts a goroutine, directly or through a callee.
+	Spawns bool `json:"spawns,omitempty"`
+	// CtxAware: takes a context.Context parameter.
+	CtxAware bool `json:"ctx_aware,omitempty"`
+	// Supervised: participates in a goroutine-supervision protocol — the
+	// body references a sync.WaitGroup, closes or sends on a channel, or
+	// watches a context. goroleak treats spawning such a function as owned.
+	Supervised bool `json:"supervised,omitempty"`
+	// Acquires lists the mutexes (field IDs, see fieldIDOf) the function
+	// locks, transitively through callees. Releases lists only its own
+	// direct unlocks.
+	Acquires []string `json:"acquires,omitempty"`
+	Releases []string `json:"releases,omitempty"`
+}
+
+// PackageFacts is the serializable fact payload of one package: function
+// summaries keyed by types.Func.FullName, plus the exported struct fields
+// the package accesses atomically (address passed to a sync/atomic
+// function) and plainly. Only exported fields are recorded — unexported
+// fields cannot conflict across package boundaries.
+type PackageFacts struct {
+	Path         string              `json:"path"`
+	Funcs        map[string]FuncFact `json:"funcs,omitempty"`
+	AtomicFields []string            `json:"atomic_fields,omitempty"`
+	PlainFields  []string            `json:"plain_fields,omitempty"`
+}
+
+// FactSet accumulates imported PackageFacts and answers cross-package
+// queries for the analyzers. All methods tolerate a nil receiver so
+// analyzers run (factlessly) outside RunAnalyzers too.
+type FactSet struct {
+	pkgs   map[string]*PackageFacts
+	funcs  map[string]FuncFact
+	atomic map[string]map[string]bool // field ID -> packages accessing atomically
+	plain  map[string]map[string]bool // field ID -> packages accessing plainly
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{
+		pkgs:   make(map[string]*PackageFacts),
+		funcs:  make(map[string]FuncFact),
+		atomic: make(map[string]map[string]bool),
+		plain:  make(map[string]map[string]bool),
+	}
+}
+
+// ImportPackage decodes one package's serialized facts and merges them.
+func (fs *FactSet) ImportPackage(data []byte) error {
+	pf := new(PackageFacts)
+	if err := json.Unmarshal(data, pf); err != nil {
+		return fmt.Errorf("analysis: importing package facts: %w", err)
+	}
+	if pf.Path == "" {
+		return fmt.Errorf("analysis: package facts missing path")
+	}
+	fs.pkgs[pf.Path] = pf
+	for name, fact := range pf.Funcs {
+		fs.funcs[name] = fact
+	}
+	for _, id := range pf.AtomicFields {
+		if fs.atomic[id] == nil {
+			fs.atomic[id] = make(map[string]bool)
+		}
+		fs.atomic[id][pf.Path] = true
+	}
+	for _, id := range pf.PlainFields {
+		if fs.plain[id] == nil {
+			fs.plain[id] = make(map[string]bool)
+		}
+		fs.plain[id][pf.Path] = true
+	}
+	return nil
+}
+
+// ExportPackage serializes the facts of the named package. The encoding is
+// deterministic: map keys sort in encoding/json and all slices are kept
+// sorted as they are built.
+func (fs *FactSet) ExportPackage(path string) ([]byte, error) {
+	pf, ok := fs.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no facts for package %q", path)
+	}
+	return json.Marshal(pf)
+}
+
+// Packages returns the paths with imported facts, sorted.
+func (fs *FactSet) Packages() []string {
+	if fs == nil {
+		return nil
+	}
+	out := make([]string, 0, len(fs.pkgs))
+	for p := range fs.pkgs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Package returns the raw facts of one package, or nil.
+func (fs *FactSet) Package(path string) *PackageFacts {
+	if fs == nil {
+		return nil
+	}
+	return fs.pkgs[path]
+}
+
+// Func looks a function summary up by its types.Func.FullName.
+func (fs *FactSet) Func(fullName string) (FuncFact, bool) {
+	if fs == nil {
+		return FuncFact{}, false
+	}
+	f, ok := fs.funcs[fullName]
+	return f, ok
+}
+
+// AtomicAccessors returns the packages that access the field atomically.
+func (fs *FactSet) AtomicAccessors(fieldID string) []string {
+	return sortedKeys(factSetLookup(fs, fieldID, true))
+}
+
+// PlainAccessors returns the packages that access the field plainly.
+func (fs *FactSet) PlainAccessors(fieldID string) []string {
+	return sortedKeys(factSetLookup(fs, fieldID, false))
+}
+
+func factSetLookup(fs *FactSet, fieldID string, atomic bool) map[string]bool {
+	if fs == nil {
+		return nil
+	}
+	if atomic {
+		return fs.atomic[fieldID]
+	}
+	return fs.plain[fieldID]
+}
+
+func sortedKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ComputeFacts computes facts for every package in dependency order: each
+// package sees the already-imported facts of its dependencies, and its own
+// facts pass through the export/import codec before the next package (or
+// any analyzer) can read them.
+func ComputeFacts(pkgs []*Package) (*FactSet, error) {
+	fs := NewFactSet()
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
+	var order []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p.Path] != 0 {
+			return
+		}
+		state[p.Path] = 1
+		imps := p.Types.Imports()
+		paths := make([]string, 0, len(imps))
+		for _, imp := range imps {
+			paths = append(paths, imp.Path())
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if dep, ok := byPath[path]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+	}
+	for _, p := range sorted {
+		visit(p)
+	}
+
+	for _, p := range order {
+		pf := computePackageFacts(p, fs)
+		data, err := json.Marshal(pf)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: encoding facts for %s: %w", p.Path, err)
+		}
+		if err := fs.ImportPackage(data); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// blockingStdlib maps types.Func.FullName of standard-library functions
+// that park the calling goroutine to a reason string. Mutex Lock/Unlock
+// are deliberately absent: briefly nesting a second serve/cluster mutex
+// is an established pattern (Server.mu around Job.View), and same-mutex
+// self-deadlock is caught separately via the Acquires fact. io.ReadAll /
+// io.Copy over in-memory readers are common and excluded; network reads
+// reach this table through the net/http entry points instead.
+var blockingStdlib = map[string]string{
+	"net/http.Get":                      "network I/O (net/http.Get)",
+	"net/http.Head":                     "network I/O (net/http.Head)",
+	"net/http.Post":                     "network I/O (net/http.Post)",
+	"net/http.PostForm":                 "network I/O (net/http.PostForm)",
+	"(*net/http.Client).Do":             "network I/O (http.Client.Do)",
+	"(*net/http.Client).Get":            "network I/O (http.Client.Get)",
+	"(*net/http.Client).Head":           "network I/O (http.Client.Head)",
+	"(*net/http.Client).Post":           "network I/O (http.Client.Post)",
+	"(*net/http.Client).PostForm":       "network I/O (http.Client.PostForm)",
+	"(*net/http.Server).ListenAndServe": "serving loop (http.Server.ListenAndServe)",
+	"(*net/http.Server).Serve":          "serving loop (http.Server.Serve)",
+	"(*net/http.Server).Shutdown":       "graceful shutdown wait (http.Server.Shutdown)",
+	"net.Dial":                          "network I/O (net.Dial)",
+	"net.DialTimeout":                   "network I/O (net.DialTimeout)",
+	"net.Listen":                        "network I/O (net.Listen)",
+	"(net.Listener).Accept":             "network I/O (net.Listener.Accept)",
+	"(*sync.WaitGroup).Wait":            "sync.WaitGroup.Wait",
+	"(*sync.Cond).Wait":                 "sync.Cond.Wait",
+	"time.Sleep":                        "time.Sleep",
+	"(*os/exec.Cmd).Run":                "process wait (exec.Cmd.Run)",
+	"(*os/exec.Cmd).Wait":               "process wait (exec.Cmd.Wait)",
+	"(*os/exec.Cmd).Output":             "process wait (exec.Cmd.Output)",
+	"(*os/exec.Cmd).CombinedOutput":     "process wait (exec.Cmd.CombinedOutput)",
+}
+
+var (
+	mutexLockFuncs = map[string]bool{
+		"(*sync.Mutex).Lock":    true,
+		"(*sync.RWMutex).Lock":  true,
+		"(*sync.RWMutex).RLock": true,
+	}
+	mutexUnlockFuncs = map[string]bool{
+		"(*sync.Mutex).Unlock":    true,
+		"(*sync.RWMutex).Unlock":  true,
+		"(*sync.RWMutex).RUnlock": true,
+	}
+)
+
+// computePackageFacts derives pkg's facts, consulting deps for everything
+// already imported. Intra-package calls (including mutual recursion) are
+// resolved by iterating to a fixpoint; facts are monotone so this
+// terminates.
+func computePackageFacts(pkg *Package, deps *FactSet) *PackageFacts {
+	pf := &PackageFacts{Path: pkg.Path, Funcs: make(map[string]FuncFact)}
+	type fnDecl struct {
+		name string
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []fnDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, fnDecl{fn.FullName(), fn, fd})
+		}
+	}
+	lookup := func(name string) (FuncFact, bool) {
+		if f, ok := pf.Funcs[name]; ok {
+			return f, true
+		}
+		return deps.Func(name)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			fact := scanFunc(pkg.Info, d.fn, d.decl, lookup)
+			if !reflect.DeepEqual(fact, pf.Funcs[d.name]) {
+				pf.Funcs[d.name] = fact
+				changed = true
+			}
+		}
+	}
+	pf.AtomicFields, pf.PlainFields = fieldDisciplines(pkg)
+	return pf
+}
+
+// scanFunc derives the fact for one function declaration. Nested function
+// literals are descended into only when they execute on this goroutine
+// (immediately invoked, or deferred); literals handed to go statements or
+// stored for later contribute Spawns/Supervised but not blocking.
+func scanFunc(info *types.Info, fn *types.Func, decl *ast.FuncDecl, lookup func(string) (FuncFact, bool)) FuncFact {
+	var fact FuncFact
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			fact.CtxAware = true
+		}
+	}
+
+	inline, skip := classifyFuncLits(decl.Body)
+	exempt := make(map[ast.Node]bool)
+	sawRecover := false
+
+	block := func(via string) {
+		if !fact.MayBlock {
+			fact.MayBlock = true
+			fact.BlockVia = via
+		}
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return inline[n] && !skip[n]
+		case *ast.GoStmt:
+			fact.Spawns = true
+			exempt[n.Call] = true // the callee runs on another goroutine
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				exemptCommStmt(cc.Comm, exempt)
+			}
+			if !hasDefault {
+				block("select with no default case")
+			}
+		case *ast.SendStmt:
+			fact.Supervised = true
+			if !exempt[n] {
+				block("channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !exempt[n] {
+				block("channel receive")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+				block("range over channel")
+			}
+		case *ast.CallExpr:
+			if exempt[n] {
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					switch id.Name {
+					case "panic":
+						fact.MayPanic = true
+					case "close":
+						fact.Supervised = true
+					case "recover":
+						sawRecover = true
+					}
+					return true
+				}
+			}
+			callee := calleeFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			full := callee.FullName()
+			if via, ok := blockingStdlib[full]; ok {
+				block(via)
+				return true
+			}
+			switch {
+			case mutexLockFuncs[full]:
+				if id := mutexIDForCall(info, n); id != "" {
+					fact.Acquires = addSorted(fact.Acquires, id)
+				}
+			case mutexUnlockFuncs[full]:
+				if id := mutexIDForCall(info, n); id != "" {
+					fact.Releases = addSorted(fact.Releases, id)
+				}
+			default:
+				if dep, ok := lookup(full); ok {
+					if dep.MayBlock {
+						via := dep.BlockVia
+						if via == "" {
+							via = "call to " + callee.Name()
+						}
+						block(via)
+					}
+					if dep.MayPanic {
+						fact.MayPanic = true
+					}
+					if dep.Spawns {
+						fact.Spawns = true
+					}
+					for _, id := range dep.Acquires {
+						fact.Acquires = addSorted(fact.Acquires, id)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if tv, ok := info.Types[n]; ok && isWaitGroupType(tv.Type) {
+				fact.Supervised = true
+			}
+		case *ast.Ident:
+			if tv, ok := info.Types[ast.Expr(n)]; ok {
+				if isWaitGroupType(tv.Type) || isContextType(tv.Type) {
+					fact.Supervised = true
+				}
+			}
+		}
+		return true
+	})
+	if sawRecover {
+		fact.MayPanic = false
+	}
+	if !fact.Supervised && usesContext(info, decl.Body) {
+		fact.Supervised = true
+	}
+	return fact
+}
+
+// classifyFuncLits partitions the function literals under body: inline
+// literals run on the current goroutine (immediately invoked or deferred),
+// skip literals run on a spawned one.
+func classifyFuncLits(body *ast.BlockStmt) (inline, skip map[*ast.FuncLit]bool) {
+	inline = make(map[*ast.FuncLit]bool)
+	skip = make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				inline[lit] = true
+			}
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				skip[lit] = true
+			}
+		}
+		return true
+	})
+	return inline, skip
+}
+
+// exemptCommStmt marks the send/receive node of a select comm clause: the
+// select statement owns the blocking semantics, not the operation itself.
+func exemptCommStmt(st ast.Stmt, exempt map[ast.Node]bool) {
+	switch st := st.(type) {
+	case *ast.SendStmt:
+		exempt[st] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(st.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			exempt[u] = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				exempt[u] = true
+			}
+		}
+	}
+}
+
+// mutexIDForCall resolves the mutex receiver of a Lock/Unlock call to a
+// stable identifier: "pkgpath.Type.field" for struct fields,
+// "pkgpath.name" for package-level mutexes, "" for locals (which cannot
+// alias across functions in a way the facts can express).
+func mutexIDForCall(info *types.Info, call *ast.CallExpr) string {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch x := ast.Unparen(fun.X).(type) {
+	case *ast.SelectorExpr:
+		if id := fieldIDFromSelection(info, x); id != "" {
+			return id
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && packageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && packageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+func packageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// fieldIDFromSelection returns the stable identifier of the struct field
+// selected by sel ("ownerPkg.OwnerType.field"), or "" when sel is not a
+// field selection on a named type.
+func fieldIDFromSelection(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + s.Obj().Name()
+}
+
+// fieldDisciplines records which exported struct fields the package
+// accesses atomically (address passed to a sync/atomic function) and which
+// it accesses plainly, as field IDs. atomicmix compares these across
+// packages; atomicfield handles the same-package case with full precision.
+func fieldDisciplines(pkg *Package) (atomicIDs, plainIDs []string) {
+	atomicSels := collectAtomicSelectors(pkg.Info, pkg.Files)
+	seenAtomic := map[string]bool{}
+	seenPlain := map[string]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldOf(pkg.Info, sel)
+			if field == nil || !field.Exported() {
+				return true
+			}
+			id := fieldIDFromSelection(pkg.Info, sel)
+			if id == "" {
+				return true
+			}
+			if atomicSels[sel] {
+				seenAtomic[id] = true
+			} else {
+				seenPlain[id] = true
+			}
+			return true
+		})
+	}
+	for id := range seenAtomic {
+		atomicIDs = append(atomicIDs, id)
+	}
+	for id := range seenPlain {
+		plainIDs = append(plainIDs, id)
+	}
+	sort.Strings(atomicIDs)
+	sort.Strings(plainIDs)
+	return atomicIDs, plainIDs
+}
+
+// collectAtomicSelectors finds every field selector whose address is
+// passed to a package-level sync/atomic function (shared by atomicfield
+// and the facts engine).
+func collectAtomicSelectors(info *types.Info, files []*ast.File) map[*ast.SelectorExpr]bool {
+	uses := make(map[*ast.SelectorExpr]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods of atomic.Int64 etc. are type-safe
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr); ok {
+					uses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	return uses
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// addSorted inserts s into sorted slice list if absent.
+func addSorted(list []string, s string) []string {
+	i := sort.SearchStrings(list, s)
+	if i < len(list) && list[i] == s {
+		return list
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = s
+	return list
+}
+
+// shortMutex trims a mutex/field ID to its type-qualified tail for
+// diagnostics ("micgraph/internal/serve.Server.mu" -> "serve.Server.mu").
+func shortMutex(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}

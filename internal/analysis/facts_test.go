@@ -1,0 +1,129 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"micgraph/internal/analysis"
+)
+
+// loadFactSet computes facts over the fixture packages that exercise the
+// engine (plus their dependencies, which LoadDirs pulls in).
+func loadFactSet(t *testing.T) *analysis.FactSet {
+	t.Helper()
+	pkgs, err := analysis.LoadDirs("testdata/src", "lockhold", "goroleak", "atomicmix")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	fs, err := analysis.ComputeFacts(pkgs)
+	if err != nil {
+		t.Fatalf("computing facts: %v", err)
+	}
+	return fs
+}
+
+// TestComputeFacts pins the per-function summaries the analyzers depend
+// on: direct and transitive blocking, panic containment by recover,
+// supervision, context-awareness, and transitive mutex acquisition.
+func TestComputeFacts(t *testing.T) {
+	fs := loadFactSet(t)
+
+	mustFact := func(name string) analysis.FuncFact {
+		t.Helper()
+		f, ok := fs.Func(name)
+		if !ok {
+			t.Fatalf("no fact for %s (packages: %v)", name, fs.Packages())
+		}
+		return f
+	}
+
+	if f := mustFact("lockdep.BlockOnChan"); !f.MayBlock || f.BlockVia != "channel receive" {
+		t.Errorf("BlockOnChan: got %+v, want MayBlock via channel receive", f)
+	}
+	if f := mustFact("lockdep.Indirect"); !f.MayBlock || f.BlockVia != "channel receive" {
+		t.Errorf("Indirect: got %+v, want transitive MayBlock via channel receive", f)
+	}
+	// Zero-fact functions are not stored at all — a lookup miss is the
+	// "nothing interesting" answer.
+	if f, ok := fs.Func("lockdep.Quick"); ok && (f.MayBlock || f.MayPanic) {
+		t.Errorf("Quick: got %+v, want no interesting facts", f)
+	}
+	if f := mustFact("lockdep.Panics"); !f.MayPanic {
+		t.Errorf("Panics: got %+v, want MayPanic", f)
+	}
+	// Recovers contains its panic, leaving no interesting fact to store.
+	if f, ok := fs.Func("lockdep.Recovers"); ok && f.MayPanic {
+		t.Errorf("Recovers: got %+v, want panic contained by deferred recover", f)
+	}
+	if f := mustFact("gorodep.Supervised"); !f.Supervised {
+		t.Errorf("Supervised: got %+v, want Supervised", f)
+	}
+	if f := mustFact("goroleak.worker"); !f.CtxAware {
+		t.Errorf("worker: got %+v, want CtxAware", f)
+	}
+	if f := mustFact("(*goroleak.pool).start"); !f.Spawns {
+		t.Errorf("start: got %+v, want Spawns", f)
+	}
+
+	size := mustFact("(*lockhold.server).size")
+	if !reflect.DeepEqual(size.Acquires, []string{"lockhold.server.mu"}) {
+		t.Errorf("size: Acquires = %v, want [lockhold.server.mu]", size.Acquires)
+	}
+
+	// Field disciplines feed atomicmix: both atomicprov (the provider) and
+	// atomicmix (whose Good matches the discipline) access N atomically,
+	// while only atomicprov touches Hits plainly.
+	if got := fs.AtomicAccessors("atomicprov.Counter.N"); !contains(got, "atomicprov") || !contains(got, "atomicmix") {
+		t.Errorf("AtomicAccessors(Counter.N) = %v, want atomicprov and atomicmix", got)
+	}
+	if got := fs.PlainAccessors("atomicprov.Counter.Hits"); !contains(got, "atomicprov") {
+		t.Errorf("PlainAccessors(Counter.Hits) = %v, want atomicprov", got)
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFactsRoundTrip proves the export/import codec is lossless: every
+// package's facts survive ExportPackage -> ImportPackage into a fresh
+// FactSet, and cross-package lookups still resolve there — the property
+// that makes facts usable across the package boundary at all.
+func TestFactsRoundTrip(t *testing.T) {
+	fs := loadFactSet(t)
+
+	fresh := analysis.NewFactSet()
+	for _, path := range fs.Packages() {
+		data, err := fs.ExportPackage(path)
+		if err != nil {
+			t.Fatalf("exporting %s: %v", path, err)
+		}
+		if err := fresh.ImportPackage(data); err != nil {
+			t.Fatalf("importing %s: %v", path, err)
+		}
+	}
+
+	if got, want := fresh.Packages(), fs.Packages(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("packages after round trip: got %v, want %v", got, want)
+	}
+	for _, path := range fs.Packages() {
+		if !reflect.DeepEqual(fresh.Package(path), fs.Package(path)) {
+			t.Errorf("package %s facts changed across round trip:\n got %+v\nwant %+v",
+				path, fresh.Package(path), fs.Package(path))
+		}
+	}
+
+	// Cross-package queries work identically on the re-imported set.
+	f, ok := fresh.Func("lockdep.Indirect")
+	if !ok || !f.MayBlock || f.BlockVia != "channel receive" {
+		t.Errorf("Indirect after round trip: got %+v ok=%v, want MayBlock via channel receive", f, ok)
+	}
+	if got := fresh.AtomicAccessors("atomicprov.Counter.N"); !contains(got, "atomicprov") {
+		t.Errorf("AtomicAccessors after round trip = %v, want atomicprov", got)
+	}
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+	"micgraph/internal/analysis/analysistest"
+)
+
+// TestGoroleak checks goroutine-ownership detection: fire-and-forget
+// spawns (named, literal, and cross-package) are flagged, while context
+// arguments/captures, WaitGroup registration, done/result channels, and
+// supervision visible only through a callee's fact are owned. The fixture
+// also pins that //micvet:allow is analyzer-scoped: a goroleak directive
+// suppresses, a lockhold directive on the same shape does not.
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Goroleak, "goroleak")
+}

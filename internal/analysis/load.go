@@ -26,6 +26,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// FactsOnly marks a package loaded from source solely so the facts
+	// engine can summarize its function bodies: it was not matched by the
+	// requested patterns, so analyzers produce no diagnostics for it.
+	FactsOnly bool
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
@@ -36,7 +40,11 @@ type listedPkg struct {
 	GoFiles    []string
 	DepOnly    bool
 	Standard   bool
-	Error      *struct{ Err string }
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
 }
 
 // loader resolves imports three ways, in order: packages it was asked to
@@ -183,9 +191,12 @@ func goList(dir string, args ...string) ([]*listedPkg, error) {
 
 // LoadModule loads and type-checks the packages matched by patterns
 // (e.g. "./...") in the module rooted at (or containing) dir. Matched
-// packages are checked from source with full type information; their
-// dependencies are satisfied from compiler export data, so the analyzed
-// module must build.
+// packages are checked from source with full type information. In-module
+// dependencies that the patterns did not match are also checked from
+// source but marked FactsOnly, so the facts engine sees their function
+// bodies even when micvet runs on a subset of the module; dependencies
+// outside the module are satisfied from compiler export data, so the
+// analyzed module must build.
 func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -195,11 +206,16 @@ func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	l := newLoader()
-	var roots []string
+	var roots, factsOnly []string
 	for _, p := range listed {
 		if !p.DepOnly {
 			l.source[p.ImportPath] = p.Dir
 			roots = append(roots, p.ImportPath)
+			continue
+		}
+		if !p.Standard && p.Module != nil && p.Module.Main {
+			l.source[p.ImportPath] = p.Dir
+			factsOnly = append(factsOnly, p.ImportPath)
 			continue
 		}
 		if p.Export != "" {
@@ -207,12 +223,21 @@ func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 	sort.Strings(roots)
+	sort.Strings(factsOnly)
 	var pkgs []*Package
 	for _, path := range roots {
 		pkg, err := l.check(path)
 		if err != nil {
 			return nil, err
 		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, path := range factsOnly {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		pkg.FactsOnly = true
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -285,11 +310,28 @@ func LoadDirs(root string, paths ...string) ([]*Package, error) {
 		}
 	}
 	var pkgs []*Package
+	requested := map[string]bool{}
 	for _, path := range paths {
 		pkg, err := l.check(filepath.ToSlash(path))
 		if err != nil {
 			return nil, err
 		}
+		requested[pkg.Path] = true
+		pkgs = append(pkgs, pkg)
+	}
+	// Sibling fixture packages pulled in as imports come along FactsOnly,
+	// mirroring LoadModule: the facts engine summarizes them, analyzers
+	// stay silent on them.
+	var extra []string
+	for path := range l.cache {
+		if !requested[path] {
+			extra = append(extra, path)
+		}
+	}
+	sort.Strings(extra)
+	for _, path := range extra {
+		pkg := l.cache[path]
+		pkg.FactsOnly = true
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

@@ -1,0 +1,371 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Lockhold flags blocking operations performed while a serve/cluster/
+// telemetry mutex is held: channel sends and receives, selects with no
+// default, network and process I/O, WaitGroup waits, and calls to any
+// function whose cross-package fact says it may block. A worker parked
+// under the server or queue mutex stalls every other request, which is
+// exactly the failure mode the paper's scaling story cannot afford.
+// sync.Cond.Wait is exempt at its direct call site (waiting with the
+// Cond's mutex held is the API contract), and acquiring a *different*
+// mutex while holding one is allowed (Server.mu around Job.View is an
+// established pattern) — but calling a function whose Acquires fact
+// includes a mutex already held is reported as a self-deadlock.
+var Lockhold = &Analyzer{
+	Name: "lockhold",
+	Doc: "no blocking operation (channel op, select without default, network/process I/O, Wait) while holding a " +
+		"serve/cluster/load/telemetry mutex; calling a function that re-acquires a held mutex is a self-deadlock",
+	Run: runLockhold,
+}
+
+var lockholdScope = []string{"serve", "cluster", "load", "telemetry", "e2e", "lockhold"}
+
+func runLockhold(pass *Pass) error {
+	if !inScope(pass.PkgPath, lockholdScope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &lockholdScan{pass: pass}
+			s.inline, s.skip = classifyFuncLits(fd.Body)
+			s.stmts(fd.Body.List, heldSet{})
+		}
+	}
+	return nil
+}
+
+// heldSet is the set of mutex IDs (see mutexIDForCall) held on a path.
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func unionHeld(sets ...heldSet) heldSet {
+	out := heldSet{}
+	for _, s := range sets {
+		for k := range s {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (h heldSet) list() string {
+	ids := make([]string, 0, len(h))
+	for id := range h {
+		ids = append(ids, shortMutex(id))
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
+}
+
+// lockholdScan is a branch-aware scan of one function body. It tracks the
+// held set linearly through statements, forks it at branches and merges
+// with a conservative union (terminating branches drop out), so the
+// idiomatic "unlock on the early-return path, then block" stays silent
+// while "defer Unlock, then block" is caught.
+type lockholdScan struct {
+	pass   *Pass
+	inline map[*ast.FuncLit]bool
+	skip   map[*ast.FuncLit]bool
+}
+
+// stmts scans a statement list with the entry held set and returns the
+// exit set plus whether every path through the list terminates.
+func (s *lockholdScan) stmts(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	held = held.clone()
+	for _, st := range list {
+		var term bool
+		held, term = s.stmt(st, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *lockholdScan) stmt(st ast.Stmt, held heldSet) (heldSet, bool) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return s.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+	case *ast.ExprStmt:
+		s.expr(st.X, held)
+		return held, false
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			s.expr(r, held)
+		}
+		for _, l := range st.Lhs {
+			s.expr(l, held)
+		}
+		return held, false
+	case *ast.IncDecStmt:
+		s.expr(st.X, held)
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, held)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.SendStmt:
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+		s.blockAt(st.Pos(), "channel send", held)
+		return held, false
+	case *ast.DeferStmt:
+		// Deferred work runs at return; only the arguments are evaluated
+		// now. Deliberately no held-set effect: `defer mu.Unlock()` keeps
+		// the mutex held for the rest of the function.
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+		return held, false
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.expr(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path.
+		return held, true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		s.expr(st.Cond, held)
+		thenHeld, thenTerm := s.stmts(st.Body.List, held)
+		elseHeld, elseTerm := held, false
+		if st.Else != nil {
+			elseHeld, elseTerm = s.stmt(st.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return unionHeld(thenHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, held)
+		}
+		body, _ := s.stmts(st.Body.List, held)
+		if st.Post != nil {
+			s.stmt(st.Post, body)
+		}
+		return unionHeld(held, body), false
+	case *ast.RangeStmt:
+		s.expr(st.X, held)
+		if tv, ok := s.pass.Info.Types[st.X]; ok && isChanType(tv.Type) {
+			s.blockAt(st.Pos(), "range over channel", held)
+		}
+		body, _ := s.stmts(st.Body.List, held)
+		return unionHeld(held, body), false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held)
+		}
+		return s.caseBodies(st.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		s.stmt(st.Assign, held.clone())
+		return s.caseBodies(st.Body.List, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			s.blockAt(st.Pos(), "select with no default case", held)
+		}
+		var outs []heldSet
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			h := held.clone()
+			if cc.Comm != nil {
+				s.commOperands(cc.Comm, h)
+			}
+			out, term := s.stmts(cc.Body, h)
+			if !term {
+				outs = append(outs, out)
+			}
+		}
+		if len(outs) == 0 {
+			return held, true
+		}
+		return unionHeld(outs...), false
+	default:
+		return held, false
+	}
+}
+
+// caseBodies merges the clause bodies of a switch. With no default clause
+// there is always a fall-past path that leaves the held set unchanged.
+func (s *lockholdScan) caseBodies(clauses []ast.Stmt, held heldSet) (heldSet, bool) {
+	hasDefault := false
+	var outs []heldSet
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			s.expr(e, held.clone())
+		}
+		out, term := s.stmts(cc.Body, held)
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, held)
+	}
+	if len(outs) == 0 {
+		return held, true
+	}
+	return unionHeld(outs...), false
+}
+
+// commOperands walks the sub-expressions of a select comm clause without
+// flagging the comm operation itself (the enclosing select owns it).
+func (s *lockholdScan) commOperands(st ast.Stmt, held heldSet) {
+	switch st := st.(type) {
+	case *ast.SendStmt:
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(st.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			s.expr(u.X, held)
+			return
+		}
+		s.expr(st.X, held)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				s.expr(u.X, held)
+				continue
+			}
+			s.expr(r, held)
+		}
+	}
+}
+
+// expr walks an expression, applying Lock/Unlock effects to held and
+// reporting blocking operations. Immediately-invoked and deferred function
+// literals are scanned inline with the current held set; literals spawned
+// or stored are skipped.
+func (s *lockholdScan) expr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if s.inline[n] && !s.skip[n] {
+				s.stmts(n.Body.List, held)
+			}
+			return false
+		case *ast.CallExpr:
+			s.call(n, held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.blockAt(n.Pos(), "channel receive", held)
+			}
+		}
+		return true
+	})
+}
+
+func (s *lockholdScan) call(call *ast.CallExpr, held heldSet) {
+	fn := calleeFunc(s.pass.Info, call)
+	if fn == nil {
+		return // builtins and indirect calls: assumed non-blocking
+	}
+	full := fn.FullName()
+	switch {
+	case mutexLockFuncs[full]:
+		if id := mutexIDForCall(s.pass.Info, call); id != "" {
+			held[id] = true
+		}
+		return
+	case mutexUnlockFuncs[full]:
+		if id := mutexIDForCall(s.pass.Info, call); id != "" {
+			delete(held, id)
+		}
+		return
+	case full == "(*sync.Cond).Wait":
+		return // waiting with the Cond's mutex held is the API contract
+	}
+	if via, ok := blockingStdlib[full]; ok {
+		s.blockAt(call.Pos(), via, held)
+		return
+	}
+	if fact, ok := s.pass.Facts.Func(full); ok {
+		if fact.MayBlock {
+			via := fact.BlockVia
+			if via == "" {
+				via = "callee may block"
+			}
+			s.blockAt(call.Pos(), "call to "+fn.Name()+" may block: "+via, held)
+		}
+		for _, id := range fact.Acquires {
+			if held[id] {
+				s.pass.Reportf(call.Pos(), "call to %s acquires %s, which is already held (possible self-deadlock: Go mutexes are not reentrant)",
+					fn.Name(), shortMutex(id))
+			}
+		}
+	}
+}
+
+func (s *lockholdScan) blockAt(pos token.Pos, via string, held heldSet) {
+	if len(held) == 0 {
+		return
+	}
+	s.pass.Reportf(pos, "blocking operation (%s) while holding %s: a parked goroutine under a serving mutex stalls every other request; release the mutex first",
+		via, held.list())
+}

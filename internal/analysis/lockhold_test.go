@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+	"micgraph/internal/analysis/analysistest"
+)
+
+// TestLockhold checks the held-mutex abstract interpreter: direct channel
+// operations, select without default, blocking stdlib calls, cross-package
+// and transitive blocking via facts, and self-deadlock via the Acquires
+// fact — against the unlock-first, branch-unlock, Cond.Wait, select-default
+// and spawned-literal patterns that must stay silent.
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Lockhold, "lockhold")
+}

@@ -21,7 +21,39 @@ func TestModuleIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+
+	// The clean verdict below is only meaningful if the whole suite ran:
+	// pin the registered analyzer set so dropping one cannot silently
+	// weaken the gate.
+	want := []string{"atomicfield", "atomicmix", "ctxloop", "faultsite",
+		"goroleak", "lockhold", "resclose", "simdeterminism", "wallclock"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+	}
+
+	// The facts engine must have real cross-package coverage, not just be
+	// wired in: the serving layer's summaries are what lockhold/goroleak
+	// consume across package boundaries.
+	fs, err := analysis.ComputeFacts(pkgs)
+	if err != nil {
+		t.Fatalf("computing facts: %v", err)
+	}
+	if fs.Package("micgraph/internal/serve") == nil {
+		t.Errorf("no facts for micgraph/internal/serve (packages: %v)", fs.Packages())
+	}
+	if f, ok := fs.Func("(*micgraph/internal/serve.Server).Submit"); !ok {
+		t.Errorf("no fact for serve.Server.Submit")
+	} else if len(f.Acquires) == 0 {
+		t.Errorf("serve.Server.Submit fact %+v acquires no mutex; expected Server.mu", f)
+	}
+
+	diags, err := analysis.RunAnalyzers(pkgs, all)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"micgraph/internal/analysis"
+	"micgraph/internal/analysis/analysistest"
+)
+
+// TestResclose checks resource-lifecycle tracking for http.Response,
+// time.Ticker, net.Listener, and the telemetry JSONL writer: unclosed
+// resources are flagged, deferred closes and escapes (returned, passed as
+// an argument, stored in a field) are owned, and time.After is flagged
+// inside loops but not one-shot waits.
+func TestResclose(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Resclose, "resclose")
+}

@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"micgraph/internal/analysis"
+)
+
+// TestBadAllowDirectives checks that malformed //micvet:allow directives
+// are diagnostics in their own right (analyzer "micvet"): an unknown
+// analyzer name, the removed blanket "all", and a directive with no name
+// at all. A typo must not masquerade as a working suppression.
+func TestBadAllowDirectives(t *testing.T) {
+	pkgs, err := analysis.LoadDirs("testdata/src", "suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var micvet []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "micvet" {
+			micvet = append(micvet, d)
+		} else {
+			t.Errorf("unexpected non-directive diagnostic: %s", d)
+		}
+	}
+	if len(micvet) != 3 {
+		t.Fatalf("got %d micvet diagnostics, want 3: %v", len(micvet), micvet)
+	}
+	for _, want := range []string{
+		`unknown analyzer "nosuch"`,
+		`unknown analyzer "all"`,
+		"missing analyzer name",
+	} {
+		found := false
+		for _, d := range micvet {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic mentioning %q in %v", want, micvet)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package atomicmix exercises the cross-package atomicmix analyzer: it
+// accesses atomicprov.Counter fields against the disciplines atomicprov's
+// own facts establish.
+package atomicmix
+
+import (
+	"sync/atomic"
+
+	"atomicprov"
+)
+
+// ReadPlain reads N plainly, but atomicprov increments it atomically.
+func ReadPlain(c *atomicprov.Counter) int64 {
+	return c.N // want `plain access to field atomicprov\.Counter\.N, which package atomicprov accesses with sync/atomic`
+}
+
+// ReadAtomic loads Hits atomically, but atomicprov writes it plainly.
+func ReadAtomic(c *atomicprov.Counter) int64 {
+	return atomic.LoadInt64(&c.Hits) // want `atomic access to field atomicprov\.Counter\.Hits, which package atomicprov accesses plainly`
+}
+
+// Good matches atomicprov's atomic discipline for N: no conflict.
+func Good(c *atomicprov.Counter) {
+	atomic.AddInt64(&c.N, 1)
+}

@@ -1,0 +1,22 @@
+// Package atomicprov is a fixture dependency for atomicmix: it fixes the
+// access discipline of two exported fields — N is atomic, Hits is plain —
+// and exports those disciplines as package facts.
+package atomicprov
+
+import "sync/atomic"
+
+// Counter carries one field under each discipline.
+type Counter struct {
+	N    int64
+	Hits int64
+}
+
+// Inc establishes N as atomically accessed.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.N, 1)
+}
+
+// Touch establishes Hits as plainly accessed.
+func (c *Counter) Touch() {
+	c.Hits++
+}

@@ -1,0 +1,15 @@
+// Package gorodep is a fixture dependency: goroleak learns that spawning
+// its functions is supervised purely from exported facts.
+package gorodep
+
+var done = make(chan struct{})
+
+// Supervised signals completion on a package channel its owner waits on.
+func Supervised() {
+	close(done)
+}
+
+// Orphan neither signals nor watches anything.
+func Orphan() {
+	_ = 1
+}

@@ -1,0 +1,98 @@
+// Package goroleak exercises the goroleak analyzer: fire-and-forget
+// goroutines are flagged; context-, WaitGroup- and channel-supervised
+// ones (including via cross-package facts) are not. It also pins the
+// analyzer-scoped //micvet:allow semantics.
+package goroleak
+
+import (
+	"context"
+	"sync"
+
+	"gorodep"
+)
+
+func bad() {
+	go leak() // want `goroutine is not tied to a context, WaitGroup, or supervising channel`
+}
+
+func badLiteral() {
+	go func() { // want `goroutine is not tied to a context, WaitGroup, or supervising channel`
+		println("orphan")
+	}()
+}
+
+func badCrossPackage() {
+	go gorodep.Orphan() // want `goroutine is not tied to a context, WaitGroup, or supervising channel`
+}
+
+func leak() {}
+
+func goodCtxArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func goodCtxCapture(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func goodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func goodDoneChannel() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+func goodResultChannel() {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	<-errc
+}
+
+// goodCrossPackage is owned through gorodep.Supervised's exported fact.
+func goodCrossPackage() {
+	go gorodep.Supervised()
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+}
+
+// goodMethodFact: p.run's own fact (references the pool WaitGroup) makes
+// the spawn owned even though the go statement shows none of it.
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+// allowed pins the suppression path for the new analyzer.
+func allowed() {
+	//micvet:allow goroleak fixture: suppression comment is honoured
+	go leak()
+}
+
+// wrongScope pins that a directive for a different analyzer does NOT
+// suppress goroleak — suppressions are analyzer-scoped.
+func wrongScope() {
+	//micvet:allow lockhold fixture: wrong analyzer name must not suppress goroleak
+	go leak() // want `goroutine is not tied to a context, WaitGroup, or supervising channel`
+}

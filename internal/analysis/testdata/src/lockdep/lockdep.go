@@ -1,0 +1,34 @@
+// Package lockdep is a fixture dependency: lockhold resolves calls into
+// it purely through exported facts, proving blocking summaries survive
+// the package boundary.
+package lockdep
+
+var ch = make(chan struct{})
+
+// BlockOnChan parks until something closes ch.
+func BlockOnChan() {
+	<-ch
+}
+
+// Indirect blocks only transitively, through BlockOnChan.
+func Indirect() {
+	BlockOnChan()
+}
+
+// Quick does nothing blocking.
+func Quick() int {
+	return 1
+}
+
+// Panics always panics (a MayPanic fact).
+func Panics() {
+	panic("boom")
+}
+
+// Recovers contains the panic it triggers, so it must not carry MayPanic.
+func Recovers() {
+	defer func() {
+		_ = recover()
+	}()
+	Panics()
+}

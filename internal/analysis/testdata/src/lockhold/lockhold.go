@@ -1,0 +1,150 @@
+// Package lockhold exercises the lockhold analyzer: blocking operations
+// under a held mutex, cross-package blocking facts, self-deadlock via the
+// Acquires fact, and the idiomatic patterns that must stay silent.
+package lockhold
+
+import (
+	"net/http"
+	"sync"
+
+	"lockdep"
+)
+
+type server struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	jobs map[string]int
+	ch   chan int
+}
+
+func (s *server) badNetwork() {
+	s.mu.Lock()
+	http.Get("http://example.com") // want `blocking operation .*net/http\.Get.* while holding lockhold\.server\.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) badDeferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `blocking operation \(channel receive\) while holding lockhold\.server\.mu`
+}
+
+func (s *server) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `blocking operation \(channel send\) while holding`
+	s.mu.Unlock()
+}
+
+func (s *server) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking operation \(select with no default case\) while holding`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *server) badCrossPackage() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lockdep.BlockOnChan() // want `call to BlockOnChan may block: channel receive`
+}
+
+func (s *server) badTransitive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lockdep.Indirect() // want `call to Indirect may block: channel receive`
+}
+
+func (s *server) badSelfDeadlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.size() // want `call to size acquires lockhold\.server\.mu, which is already held`
+}
+
+func (s *server) badInlineLiteral() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	func() {
+		<-s.ch // want `blocking operation \(channel receive\) while holding`
+	}()
+}
+
+func (s *server) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// goodUnlockFirst releases before blocking.
+func (s *server) goodUnlockFirst() {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n == 0 {
+		<-s.ch
+	}
+}
+
+// goodBranchUnlock releases on the early-return path before blocking.
+func (s *server) goodBranchUnlock(fail bool) {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		<-s.ch
+		return
+	}
+	s.mu.Unlock()
+}
+
+// goodCondWait: waiting with the Cond's mutex held is the API contract.
+func (s *server) goodCondWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.jobs) == 0 {
+		s.cond.Wait()
+	}
+}
+
+// goodSelectDefault never parks: select with default is a poll.
+func (s *server) goodSelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// goodQuickCall: non-blocking cross-package calls are fine under a lock.
+func (s *server) goodQuickCall() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return lockdep.Quick()
+}
+
+// goodSpawned: the literal runs on its own goroutine, which does not hold
+// this function's mutex.
+func (s *server) goodSpawned() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		<-s.ch
+	}()
+}
+
+type other struct {
+	mu sync.Mutex
+	n  int
+}
+
+// goodNestedOther: briefly acquiring a different mutex while holding one
+// is the established Server.mu-around-Job.View pattern.
+func (s *server) goodNestedOther(o *other) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o.mu.Lock()
+	n := o.n
+	o.mu.Unlock()
+	return n
+}

@@ -1,0 +1,108 @@
+// Package resclose exercises the resclose analyzer: resources that never
+// reach Close/Stop in their function and do not escape to an owner are
+// flagged, as is time.After inside a loop; deferred closes, escapes, and
+// one-shot time.After stay silent.
+package resclose
+
+import (
+	"net"
+	"net/http"
+	"time"
+
+	"telemetry"
+)
+
+func badResp() {
+	resp, err := http.Get("http://example.com") // want `http\.Response created here never reaches Body\.Close`
+	if err != nil {
+		return
+	}
+	_ = resp.Status
+}
+
+func goodResp() error {
+	resp, err := http.Get("http://example.com")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+func badTicker(d time.Duration) {
+	t := time.NewTicker(d) // want `time\.Ticker created here never reaches Stop`
+	<-t.C
+}
+
+func goodTicker(d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+}
+
+func badListener() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0") // want `net\.Listener created here never reaches Close`
+	if err != nil {
+		return
+	}
+	_ = ln.Addr()
+}
+
+// goodListenerEscape hands the listener to the caller, who owns it now.
+func goodListenerEscape() net.Listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil
+	}
+	return ln
+}
+
+// goodListenerHandoff passes the listener to Serve, which closes it.
+func goodListenerHandoff(srv *http.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ln)
+}
+
+type holder struct {
+	t *time.Ticker
+}
+
+// goodStoreField: stored in a field, the struct owns the ticker.
+func (h *holder) goodStoreField(d time.Duration) {
+	t := time.NewTicker(d)
+	h.t = t
+}
+
+func badAfterLoop(stop chan struct{}, d time.Duration) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(d): // want `time\.After inside a loop allocates a timer every iteration`
+		}
+	}
+}
+
+func goodAfterOnce(d time.Duration) {
+	<-time.After(d)
+}
+
+func badJSONL(path string) {
+	w, err := telemetry.CreateJSONL(path) // want `telemetry\.JSONLFile created here never reaches Close`
+	if err != nil {
+		return
+	}
+	w.Encode(1)
+}
+
+func goodJSONL(path string) error {
+	w, err := telemetry.CreateJSONL(path)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return w.Encode(1)
+}

@@ -1,0 +1,14 @@
+// Package suppress carries malformed //micvet:allow directives. The
+// framework (analyzer name "micvet") must reject each of them instead of
+// silently suppressing nothing — a typo in a directive would otherwise
+// read as a working suppression.
+package suppress
+
+func directives() {
+	//micvet:allow nosuch this analyzer does not exist
+	_ = 1
+	//micvet:allow all blanket suppression was removed; name one analyzer
+	_ = 2
+	//micvet:allow
+	_ = 3
+}
