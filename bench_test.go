@@ -140,9 +140,11 @@ func BenchmarkKernelColoringTeamDynamic(b *testing.B) {
 	team := sched.NewTeam(4)
 	defer team.Close()
 	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 100}
+	scratch := coloring.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := coloring.ColorTeam(g, team, opts); res.NumColors == 0 {
+		res, err := scratch.ColorTeam(nil, g, team, opts)
+		if err != nil || res.NumColors == 0 {
 			b.Fatal("no colors")
 		}
 	}
@@ -152,9 +154,11 @@ func BenchmarkKernelColoringCilkHolder(b *testing.B) {
 	g := benchGraph(b, "hood")
 	pool := sched.NewPool(4)
 	defer pool.Close()
+	scratch := coloring.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := coloring.ColorCilk(g, pool, 100, coloring.CilkHolder); res.NumColors == 0 {
+		res, err := scratch.ColorCilk(nil, g, pool, 100, coloring.CilkHolder)
+		if err != nil || res.NumColors == 0 {
 			b.Fatal("no colors")
 		}
 	}
@@ -164,9 +168,11 @@ func BenchmarkKernelColoringTBBSimple(b *testing.B) {
 	g := benchGraph(b, "hood")
 	pool := sched.NewPool(4)
 	defer pool.Close()
+	scratch := coloring.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := coloring.ColorTBB(g, pool, sched.SimplePartitioner, 40); res.NumColors == 0 {
+		res, err := scratch.ColorTBB(nil, g, pool, sched.SimplePartitioner, 40)
+		if err != nil || res.NumColors == 0 {
 			b.Fatal("no colors")
 		}
 	}
@@ -189,9 +195,11 @@ func BenchmarkKernelBFSBlockRelaxed(b *testing.B) {
 	team := sched.NewTeam(4)
 	defer team.Close()
 	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+	scratch := bfs.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := bfs.BlockTeam(g, src, team, opts, 32, true); res.NumLevels == 0 {
+		res, err := scratch.BlockTeam(nil, g, src, team, opts, 32, true)
+		if err != nil || res.NumLevels == 0 {
 			b.Fatal("no levels")
 		}
 	}
@@ -202,9 +210,11 @@ func BenchmarkKernelBFSBag(b *testing.B) {
 	src := int32(g.NumVertices() / 2)
 	pool := sched.NewPool(4)
 	defer pool.Close()
+	scratch := bfs.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := bfs.BagCilk(g, src, pool, 0); res.NumLevels == 0 {
+		res, err := scratch.BagCilk(nil, g, src, pool, 0)
+		if err != nil || res.NumLevels == 0 {
 			b.Fatal("no levels")
 		}
 	}
@@ -216,9 +226,11 @@ func BenchmarkKernelBFSTLS(b *testing.B) {
 	team := sched.NewTeam(4)
 	defer team.Close()
 	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+	scratch := bfs.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := bfs.TLSTeam(g, src, team, opts); res.NumLevels == 0 {
+		res, err := scratch.TLSTeam(nil, g, src, team, opts)
+		if err != nil || res.NumLevels == 0 {
 			b.Fatal("no levels")
 		}
 	}
@@ -298,9 +310,11 @@ func BenchmarkKernelHybridBFS(b *testing.B) {
 	team := sched.NewTeam(4)
 	defer team.Close()
 	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 32}
+	scratch := bfs.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := bfs.HybridTeam(g, src, team, opts, bfs.HybridConfig{}); res.NumLevels == 0 {
+		res, err := scratch.Hybrid(nil, g, src, team, opts, bfs.HybridConfig{})
+		if err != nil || res.NumLevels == 0 {
 			b.Fatal("no levels")
 		}
 	}
@@ -339,9 +353,11 @@ func BenchmarkKernelComponentsLabelProp(b *testing.B) {
 	team := sched.NewTeam(4)
 	defer team.Close()
 	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 64}
+	scratch := components.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := components.LabelPropagation(g, team, opts); res.Count == 0 {
+		res, err := scratch.LabelPropagation(nil, g, team, opts)
+		if err != nil || res.Count == 0 {
 			b.Fatal("no components")
 		}
 	}
@@ -352,9 +368,11 @@ func BenchmarkKernelComponentsPointerJump(b *testing.B) {
 	team := sched.NewTeam(4)
 	defer team.Close()
 	opts := sched.ForOptions{Policy: sched.Dynamic, Chunk: 64}
+	scratch := components.NewScratch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := components.PointerJumping(g, team, opts); res.Count == 0 {
+		res, err := scratch.PointerJumping(nil, g, team, opts)
+		if err != nil || res.Count == 0 {
 			b.Fatal("no components")
 		}
 	}

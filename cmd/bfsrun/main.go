@@ -28,7 +28,7 @@ func main() {
 		name    = flag.String("graph", "", "builtin suite graph name (e.g. inline_1)")
 		scale   = flag.Int("scale", 4, "suite shrink factor for -graph")
 		variant = flag.String("variant", "omp-block-relaxed",
-			"seq, omp-block, omp-block-relaxed, tbb-block, tbb-block-relaxed, bag, tls")
+			"seq, omp-block, omp-block-relaxed, tbb-block, tbb-block-relaxed, bag, tls, hybrid")
 		workers = flag.Int("workers", 4, "worker goroutines")
 		source  = flag.Int("source", -1, "source vertex (-1 = |V|/2 as in the paper)")
 		block   = flag.Int("block", bfs.DefaultBlockSize, "block queue block size")
@@ -106,6 +106,17 @@ func main() {
 		defer team.Close()
 		team.SetCounters(counters)
 		res, runErr = bfs.TLSTeamCtx(ctx, g, src, team, opts)
+	case "hybrid":
+		team := sched.NewTeam(*workers)
+		defer team.Close()
+		team.SetCounters(counters)
+		var hres bfs.HybridResult
+		hres, runErr = bfs.HybridTeamCtx(ctx, g, src, team, opts, bfs.HybridConfig{})
+		res = hres.Result
+		if runErr == nil {
+			fmt.Printf("direction: %d top-down levels, %d bottom-up levels\n",
+				hres.TopDownLevels, hres.BottomUpLevels)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "bfsrun: unknown variant %q\n", *variant)
 		exit(2)

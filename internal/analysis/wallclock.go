@@ -9,7 +9,7 @@ import (
 // Recorder, so phase samples are bit-deterministic under a fake clock) and
 // the serving/load-generation layers (telemetry.Clock via config, so job
 // latency spans and trace timestamps are deterministic in tests).
-var wallclockScope = []string{"bfs", "coloring", "irregular", "serve", "load", "cluster"}
+var wallclockScope = []string{"bfs", "coloring", "components", "irregular", "kerneltest", "serve", "load", "cluster"}
 
 // Wallclock flags direct time.Now and time.Since calls inside the scoped
 // packages. Kernels must route timestamps through the Recorder's clock
@@ -18,7 +18,7 @@ var wallclockScope = []string{"bfs", "coloring", "irregular", "serve", "load", "
 // test clock can make deterministic.
 var Wallclock = &Analyzer{
 	Name: "wallclock",
-	Doc: "clock-disciplined packages (internal/bfs, internal/coloring, internal/irregular, internal/serve, internal/load) " +
+	Doc: "clock-disciplined packages (internal/bfs, internal/coloring, internal/components, internal/irregular, internal/kerneltest, internal/serve, internal/load) " +
 		"must not read the wall clock directly; take time via telemetry.Now/telemetry.Since or an injected telemetry.Clock " +
 		"so instrumented runs can be made deterministic",
 	Run: runWallclock,

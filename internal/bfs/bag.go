@@ -2,12 +2,9 @@ package bfs
 
 import (
 	"context"
-	"sync/atomic"
-	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
-	"micgraph/internal/telemetry"
 )
 
 // Pennant bag (Leiserson & Schardl, SPAA 2010): a bag is an array of
@@ -156,47 +153,12 @@ func (b *Bag) WalkCtx(ctx context.Context, pool *sched.Pool, visit func(c *sched
 	})
 }
 
-// bagBuilder accumulates next-level vertices per worker: a hopper chunk that
-// is inserted into the worker's private bag when full (no synchronisation on
-// the hot path, like the reducer views in the Cilk original).
-type bagBuilder struct {
-	hopper []int32
-	bag    *Bag
-	count  int64
-}
-
-func (bb *bagBuilder) push(v int32, grain int) {
-	if bb.bag == nil {
-		bb.bag = NewBag(grain)
-	}
-	if cap(bb.hopper) == 0 {
-		bb.hopper = make([]int32, 0, grain)
-	}
-	bb.hopper = append(bb.hopper, v)
-	bb.count++
-	if len(bb.hopper) == cap(bb.hopper) {
-		bb.bag.InsertChunk(bb.hopper)
-		bb.hopper = make([]int32, 0, grain)
-	}
-}
-
-func (bb *bagBuilder) finish() *Bag {
-	if bb.bag == nil {
-		bb.bag = NewBag(1)
-	}
-	if len(bb.hopper) > 0 {
-		bb.bag.InsertChunk(bb.hopper)
-		bb.hopper = nil
-	}
-	return bb.bag
-}
-
 // DefaultBagGrain matches the grainsize regime of the original code.
 const DefaultBagGrain = 128
 
 // BagCilk runs layered BFS with pennant bags on the work-stealing pool (the
 // paper's CilkPlus-Bag-relaxed): relaxed insertion into per-worker bags,
-// merged at each level barrier, traversed by recursive task spawning.
+// merged at each level barrier, traversed in parallel chunk by chunk.
 // Panics propagate; use BagCilkCtx for errors and cancellation.
 func BagCilk(g *graph.Graph, source int32, pool *sched.Pool, grain int) Result {
 	res, err := BagCilkCtx(nil, g, source, pool, grain)
@@ -209,77 +171,12 @@ func BagCilk(g *graph.Graph, source int32, pool *sched.Pool, grain int) Result {
 // BagCilkCtx is BagCilk with cooperative cancellation at task boundaries
 // and between levels; on failure it returns the partial traversal state
 // alongside the error.
+//
+// The implementation lives on Scratch (scratch.go): the per-level frontier
+// is held in the bag's flattened form — a list of grain-sized chunks
+// recycled through the pool's arena — with the pennant tree's insertion
+// and merge cost profile but no per-level allocation. This entry point
+// runs on a throwaway Scratch, keeping allocate-per-call semantics.
 func BagCilkCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.Pool, grain int) (Result, error) {
-	if grain <= 0 {
-		grain = DefaultBagGrain
-	}
-	n := g.NumVertices()
-	levels := makeLevels(n)
-	res := Result{Levels: levels}
-	if n == 0 {
-		return res, nil
-	}
-	levels[source] = 0
-
-	cur := NewBag(grain)
-	cur.InsertChunk([]int32{source})
-
-	var processed int64
-	maxLevel := int32(0)
-	finish := func() {
-		res.NumLevels = int(maxLevel) + 1
-		res.Processed = processed
-		res.Widths = widthsOf(levels, res.NumLevels)
-		var reached int64
-		for _, w := range res.Widths {
-			reached += w
-		}
-		res.Duplicates = processed - reached
-	}
-	rec := telemetry.FromContext(ctx)
-	for lv := int32(1); !cur.Empty(); lv++ {
-		maxLevel = lv - 1
-		builders := make([]bagBuilder, pool.Workers())
-		var levelProcessed atomic.Int64
-		var edges int64
-		var levelStart time.Time
-		if telemetry.Active(rec) {
-			edges = bagEdges(g, cur)
-			levelStart = telemetry.Now(rec)
-		}
-		err := cur.WalkCtx(ctx, pool, func(c *sched.Ctx, items []int32) {
-			bb := &builders[c.Worker()]
-			for _, v := range items {
-				for _, w := range g.Adj(v) {
-					if claimRelaxed(levels, w, lv) {
-						bb.push(w, grain)
-					}
-				}
-			}
-			levelProcessed.Add(int64(len(items)))
-		})
-		processed += levelProcessed.Load()
-		if telemetry.Active(rec) {
-			var claims int64
-			for i := range builders {
-				claims += builders[i].count
-			}
-			s := levelSample(lv-1, levelProcessed.Load(), edges, claims)
-			s.Duration = telemetry.Since(rec, levelStart)
-			rec.Record(s)
-		}
-		if err != nil {
-			// Partial level: vertices may already be claimed at level lv.
-			maxLevel = lv
-			finish()
-			return res, err
-		}
-		next := NewBag(grain)
-		for i := range builders {
-			next.Merge(builders[i].finish())
-		}
-		cur = next
-	}
-	finish()
-	return res, nil
+	return NewScratch().BagCilk(ctx, g, source, pool, grain)
 }

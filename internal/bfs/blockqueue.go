@@ -47,6 +47,9 @@ func (q *BlockQueue) Reset() {
 	q.spill = q.spill[:0]
 }
 
+// Cap returns the capacity of the backing array.
+func (q *BlockQueue) Cap() int { return len(q.buf) }
+
 // Len returns the number of reserved slots (including sentinel padding)
 // plus spilled entries. Only meaningful after all writers flushed.
 func (q *BlockQueue) Len() int {
@@ -82,6 +85,19 @@ type Writer struct {
 // NewWriter returns a fresh cursor with no reserved block.
 func (q *BlockQueue) NewWriter() *Writer {
 	return &Writer{q: q}
+}
+
+// Reset rebinds the writer to q with no reserved block, ready for a new
+// level. The spill accumulation buffer keeps its capacity, so a recycled
+// writer's level costs no allocation.
+func (w *Writer) Reset(q *BlockQueue) {
+	w.q = q
+	w.pos, w.end = 0, 0
+	w.spilling = false
+	w.BlockGrabs = 0
+	if w.local != nil {
+		w.local = w.local[:0]
+	}
 }
 
 // Push appends v to the queue.

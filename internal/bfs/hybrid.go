@@ -1,21 +1,29 @@
 package bfs
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
 )
 
 // Direction-optimizing (top-down/bottom-up) BFS — the natural extension of
 // the paper's layered algorithm for the wide-frontier levels its model
 // identifies as the parallel bulk: when the frontier is a large fraction of
 // the graph, it is cheaper to iterate over *unvisited* vertices asking "is
-// any of my neighbors on the frontier?" (one hit suffices) than to expand
-// every frontier edge. The switching rule follows Beamer's heuristic: go
-// bottom-up when the frontier's outgoing edges exceed the unexplored edges
-// divided by alpha, return top-down when the frontier shrinks below
-// |V|/beta.
+// any of my neighbors on the frontier?" (one hit suffices — the bottom-up
+// scan breaks at the first frontier neighbor) than to expand every
+// frontier edge. The switching rule follows Beamer's heuristic (the GBBS
+// defaults): go bottom-up when a growing frontier's outgoing edges exceed
+// the unexplored edges divided by alpha, return top-down when the frontier
+// shrinks below |V|/beta.
+//
+// Instrumented runs record one PhaseSample per level with the direction in
+// the phase name ("level-td" / "level-bu"), so the crossover is readable
+// directly from the Recorder stream (see EXPERIMENTS.md).
 
 // HybridConfig tunes the direction switch; zero values select the
 // published defaults (alpha 14, beta 24).
@@ -47,90 +55,180 @@ type HybridResult struct {
 
 // HybridTeam runs the direction-optimizing layered BFS on a Team. The level
 // assignment is identical to every other variant (validated against the
-// sequential reference); only the per-level work differs.
+// sequential reference); only the per-level work differs. Panics propagate;
+// use HybridTeamCtx for errors and cancellation.
 func HybridTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, cfg HybridConfig) HybridResult {
-	n := g.NumVertices()
-	levels := makeLevels(n)
-	res := HybridResult{Result: Result{Levels: levels}}
-	if n == 0 {
-		return res
+	res, err := HybridTeamCtx(nil, g, source, team, opts, cfg)
+	if err != nil {
+		panic(err)
 	}
-	levels[source] = 0
+	return res
+}
 
-	cur := []int32{source}
-	next := make([]int32, 0, 1024)
-	locals := make([][]int32, team.Workers())
-	unexploredEdges := g.NumArcs()
-	maxLevel := int32(0)
+// HybridTeamCtx is HybridTeam with cooperative cancellation at chunk-claim
+// boundaries and between levels; on failure it returns the partial
+// traversal state alongside the error. It runs on a throwaway Scratch,
+// keeping allocate-per-call semantics; hot callers reuse a Scratch via
+// Scratch.Hybrid.
+func HybridTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, cfg HybridConfig) (HybridResult, error) {
+	return NewScratch().Hybrid(ctx, g, source, team, opts, cfg)
+}
+
+// hybridLocal is one worker's claim accumulation for a hybrid level: the
+// claimed vertices plus the sum of their degrees, gathered in the same
+// pass so the direction heuristic never rescans the frontier.
+type hybridLocal struct {
+	buf   []int32
+	edges int64
+	_     [32]byte
+}
+
+// Hybrid runs the direction-optimizing BFS on the scratch's pooled state.
+// See HybridTeamCtx for semantics.
+func (s *Scratch) Hybrid(ctx context.Context, g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, cfg HybridConfig) (HybridResult, error) {
+	n := g.NumVertices()
+	workers := team.Workers()
+	opts = opts.WithSerialCutoff(workers)
+	s.ensureCommon(n)
+	s.ensureWorkers(workers)
+	s.ensureFlat(n)
+	if len(s.hlocals) < workers {
+		s.hlocals = make([]hybridLocal, workers)
+	}
+	res := HybridResult{}
+	if n == 0 {
+		res.Result = s.finish(0, 0)
+		return res, nil
+	}
+	levels := s.levels
+	xadj, adj := g.Xadj(), g.AdjRaw()
+	s.xadj, s.adj = xadj, adj
+	levels[source] = 0
+	if s.hybridBU == nil {
+		// Sweep all vertices; claim those with a frontier neighbor, breaking
+		// at the first hit. Claims need no CAS: each vertex is scanned by
+		// exactly one worker, so the store cannot race with another claim —
+		// only with concurrent neighbor loads, which the atomic store pairs
+		// with.
+		s.hybridBU = func(lo, hi, w int) {
+			xadj, adj, lvls, lv := s.xadj, s.adj, s.levels, s.lv
+			local := &s.hlocals[w]
+			buf := local.buf
+			var edges int64
+			for v := lo; v < hi; v++ {
+				if lvls[v] != Unvisited {
+					continue
+				}
+				for j := xadj[v]; j < xadj[v+1]; j++ {
+					if atomic.LoadInt32(&lvls[adj[j]]) == lv-1 {
+						atomic.StoreInt32(&lvls[v], lv)
+						buf = append(buf, int32(v))
+						edges += xadj[v+1] - xadj[v]
+						break
+					}
+				}
+			}
+			local.buf = buf
+			local.edges += edges
+		}
+		s.hybridTD = func(lo, hi, w int) {
+			xadj, adj, lvls, lv := s.xadj, s.adj, s.levels, s.lv
+			local := &s.hlocals[w]
+			buf := local.buf
+			var edges int64
+			for i := lo; i < hi; i++ {
+				v := s.cur[i]
+				for j := xadj[v]; j < xadj[v+1]; j++ {
+					u := adj[j]
+					if claimLocked(lvls, u, lv) {
+						buf = append(buf, u)
+						edges += xadj[u+1] - xadj[u]
+					}
+				}
+			}
+			local.buf = buf
+			local.edges += edges
+		}
+	}
+
+	cur := append(s.frontA[:0], source)
+	next := s.frontB[:0]
+	curEdges := int64(g.Degree(source))
+	unexplored := g.NumArcs()
 	bottomUp := false
 	prevFrontier := 0
+	rec := telemetry.FromContext(ctx)
 
+	var processed int64
+	maxLevel := int32(0)
 	for lv := int32(1); len(cur) > 0; lv++ {
 		maxLevel = lv - 1
-		res.Processed += int64(len(cur))
+		processed += int64(len(cur))
 
 		// Beamer's switching heuristic with hysteresis: enter bottom-up
 		// when a *growing* frontier's outgoing edges exceed the unexplored
 		// edges / alpha; return to top-down once the frontier shrinks
-		// below |V| / beta.
-		var frontierEdges int64
-		for _, v := range cur {
-			frontierEdges += int64(g.Degree(v))
-		}
-		unexploredEdges -= frontierEdges
+		// below |V| / beta. The frontier's edge count was accumulated by
+		// the workers while claiming, so no rescan happens here.
+		frontierEdges := curEdges
+		unexplored -= frontierEdges
 		growing := len(cur) > prevFrontier
 		prevFrontier = len(cur)
 		if !bottomUp {
-			bottomUp = growing && frontierEdges > unexploredEdges/cfg.alpha()
+			bottomUp = growing && frontierEdges > unexplored/cfg.alpha()
 		} else {
 			bottomUp = int64(len(cur)) >= int64(n)/cfg.beta()
 		}
 
-		for w := range locals {
-			locals[w] = locals[w][:0]
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			levelStart = telemetry.Now(rec)
 		}
+		for w := 0; w < workers; w++ {
+			s.hlocals[w].buf = s.hlocals[w].buf[:0]
+			s.hlocals[w].edges = 0
+		}
+		var err error
+		s.lv = lv
 		if bottomUp {
 			res.BottomUpLevels++
-			// Sweep all vertices; claim those with a frontier neighbor.
-			team.For(n, opts, func(lo, hi, w int) {
-				local := locals[w]
-				for v := lo; v < hi; v++ {
-					if atomic.LoadInt32(&levels[v]) != Unvisited {
-						continue
-					}
-					for _, u := range g.Adj(int32(v)) {
-						if atomic.LoadInt32(&levels[u]) == lv-1 {
-							atomic.StoreInt32(&levels[v], lv)
-							local = append(local, int32(v))
-							break
-						}
-					}
-				}
-				locals[w] = local
-			})
+			err = team.ForCtx(ctx, n, opts, s.hybridBU)
 		} else {
 			res.TopDownLevels++
-			curSnapshot := cur
-			team.For(len(curSnapshot), opts, func(lo, hi, w int) {
-				local := locals[w]
-				for i := lo; i < hi; i++ {
-					for _, u := range g.Adj(curSnapshot[i]) {
-						if claimLocked(levels, u, lv) {
-							local = append(local, u)
-						}
-					}
-				}
-				locals[w] = local
-			})
+			s.cur = cur
+			err = team.ForCtx(ctx, len(cur), opts, s.hybridTD)
 		}
-
+		if err != nil {
+			// Partial level: vertices may already be claimed at level lv.
+			s.frontA, s.frontB = cur[:0], next[:0]
+			hres := s.finish(processed, lv)
+			hres.Duplicates = 0
+			res.Result = hres
+			return res, err
+		}
+		// Merge the per-worker claims into the next frontier (level
+		// barrier) and roll up its edge count for the next switch.
 		next = next[:0]
-		for _, local := range locals {
-			next = append(next, local...)
+		curEdges = 0
+		for w := 0; w < workers; w++ {
+			next = append(next, s.hlocals[w].buf...)
+			curEdges += s.hlocals[w].edges
+		}
+		if telemetry.Active(rec) {
+			sample := levelSample(lv-1, int64(len(cur)), frontierEdges, int64(len(next)))
+			if bottomUp {
+				sample.Phase = "level-bu"
+			} else {
+				sample.Phase = "level-td"
+			}
+			sample.Duration = telemetry.Since(rec, levelStart)
+			rec.Record(sample)
 		}
 		cur, next = next, cur
 	}
-	res.NumLevels = int(maxLevel) + 1
-	res.Widths = widthsOf(levels, res.NumLevels)
-	return res
+	s.frontA, s.frontB = cur[:0], next[:0]
+	hres := s.finish(processed, maxLevel)
+	hres.Duplicates = 0 // locked/exclusive claims: no duplicates possible
+	res.Result = hres
+	return res, nil
 }

@@ -3,11 +3,9 @@ package bfs
 import (
 	"context"
 	"sync/atomic"
-	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
-	"micgraph/internal/telemetry"
 )
 
 // Layered parallel BFS (Algorithm 7) over block-accessed queues, in the
@@ -17,6 +15,10 @@ import (
 //   - locked: compare-and-swap on the level word; exactly-once insertion;
 //   - relaxed: plain check-then-store (via atomics for Go memory-model
 //     sanity); duplicates possible and benign (§III-C, Leiserson–Schardl).
+//
+// The implementations live on Scratch (scratch.go), which owns every
+// reusable buffer; the entry points here run on a throwaway Scratch and so
+// keep their historical allocate-per-call semantics.
 
 // DefaultBlockSize is the queue block size that performed best in the
 // paper's experiments ("we used as block size the one that yields the best
@@ -39,90 +41,6 @@ func claimRelaxed(levels []int32, w int32, lv int32) bool {
 	return false
 }
 
-// queuePair holds the current and next level queues plus the shared level
-// state of one BFS run.
-type queuePair struct {
-	g         *graph.Graph
-	levels    []int32
-	cur, next *BlockQueue
-	relaxed   bool
-}
-
-func newQueuePair(g *graph.Graph, workers, blockSize int, relaxed bool) *queuePair {
-	n := g.NumVertices()
-	// Nominal capacity: every vertex once, plus one partially filled block
-	// per worker. Relaxed duplicates beyond that overflow to the spill path.
-	capacity := n + workers*blockSize
-	return &queuePair{
-		g:       g,
-		levels:  makeLevels(n),
-		cur:     NewBlockQueue(capacity, blockSize),
-		next:    NewBlockQueue(capacity, blockSize),
-		relaxed: relaxed,
-	}
-}
-
-func makeLevels(n int) []int32 {
-	levels := make([]int32, n)
-	for i := range levels {
-		levels[i] = Unvisited
-	}
-	return levels
-}
-
-// seed places the source in cur.
-func (qp *queuePair) seed(source int32) {
-	qp.levels[source] = 0
-	w := qp.cur.NewWriter()
-	w.Push(source)
-	w.Flush()
-}
-
-// processEntry scans entry i of (main, spill), expanding its neighbors into
-// wr. Returns 1 if the entry was a real vertex, 0 for sentinel padding.
-func (qp *queuePair) processEntry(main, spill []int32, i int, lv int32, wr *Writer) int64 {
-	var v int32
-	if i < len(main) {
-		v = main[i]
-	} else {
-		v = spill[i-len(main)]
-	}
-	if v == Sentinel {
-		return 0
-	}
-	g := qp.g
-	if qp.relaxed {
-		for _, w := range g.Adj(v) {
-			if claimRelaxed(qp.levels, w, lv) {
-				wr.Push(w)
-			}
-		}
-	} else {
-		for _, w := range g.Adj(v) {
-			if claimLocked(qp.levels, w, lv) {
-				wr.Push(w)
-			}
-		}
-	}
-	return 1
-}
-
-// finish computes the Result bookkeeping after the level loop.
-func (qp *queuePair) finish(processed int64, maxLevel int32) Result {
-	res := Result{
-		Levels:    qp.levels,
-		NumLevels: int(maxLevel) + 1,
-		Processed: processed,
-	}
-	res.Widths = widthsOf(qp.levels, res.NumLevels)
-	var reached int64
-	for _, w := range res.Widths {
-		reached += w
-	}
-	res.Duplicates = processed - reached
-	return res
-}
-
 // BlockTeam runs layered BFS with the block-accessed queue on an
 // OpenMP-style Team (the paper's OpenMP-Block / OpenMP-Block-relaxed).
 // A body panic (e.g. an injected fault) propagates as a *sched.PanicError;
@@ -140,67 +58,7 @@ func BlockTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOpt
 // levels. On cancellation or a contained panic it returns the partial
 // traversal state alongside the error.
 func BlockTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, blockSize int, relaxed bool) (Result, error) {
-	if blockSize <= 0 {
-		blockSize = DefaultBlockSize
-	}
-	qp := newQueuePair(g, team.Workers(), blockSize, relaxed)
-	if g.NumVertices() == 0 {
-		return qp.finish(0, 0), nil
-	}
-	qp.seed(source)
-
-	writers := make([]*Writer, team.Workers())
-	processedBy := make([]int64, team.Workers())
-	rec := telemetry.FromContext(ctx)
-
-	var processed int64
-	maxLevel := int32(0)
-	for lv := int32(1); ; lv++ {
-		main, spill := qp.cur.Entries()
-		total := len(main) + len(spill)
-		if total == 0 {
-			break
-		}
-		maxLevel = lv - 1
-		var edges int64
-		var levelStart time.Time
-		if telemetry.Active(rec) {
-			edges = frontierEdges(g, main, spill)
-			levelStart = telemetry.Now(rec)
-		}
-		for w := range writers {
-			writers[w] = qp.next.NewWriter()
-			processedBy[w] = 0
-		}
-		err := team.ForCtx(ctx, total, opts, func(lo, hi, w int) {
-			wr := writers[w]
-			var count int64
-			for i := lo; i < hi; i++ {
-				count += qp.processEntry(main, spill, i, lv, wr)
-			}
-			processedBy[w] += count
-		})
-		var levelProcessed int64
-		for w := range writers {
-			writers[w].Flush()
-			levelProcessed += processedBy[w]
-		}
-		processed += levelProcessed
-		if telemetry.Active(rec) {
-			nm, ns := qp.next.Entries()
-			s := levelSample(lv-1, levelProcessed, edges, frontierCount(nm, ns))
-			s.Duration = telemetry.Since(rec, levelStart)
-			rec.Record(s)
-		}
-		if err != nil {
-			// Chunks that ran before the abort may have claimed vertices
-			// at level lv, so the partial result spans levels 0..lv.
-			return qp.finish(processed, lv), err
-		}
-		qp.cur, qp.next = qp.next, qp.cur
-		qp.next.Reset()
-	}
-	return qp.finish(processed, maxLevel), nil
+	return NewScratch().BlockTeam(ctx, g, source, team, opts, blockSize, relaxed)
 }
 
 // BlockTBB runs layered BFS with the block-accessed queue on TBB-style
@@ -219,66 +77,5 @@ func BlockTBB(g *graph.Graph, source int32, pool *sched.Pool, part sched.Partiti
 // boundaries and between levels; on failure it returns the partial
 // traversal state alongside the error.
 func BlockTBBCtx(ctx context.Context, g *graph.Graph, source int32, pool *sched.Pool, part sched.Partitioner, grain, blockSize int, relaxed bool) (Result, error) {
-	if blockSize <= 0 {
-		blockSize = DefaultBlockSize
-	}
-	qp := newQueuePair(g, pool.Workers(), blockSize, relaxed)
-	if g.NumVertices() == 0 {
-		return qp.finish(0, 0), nil
-	}
-	qp.seed(source)
-
-	writers := make([]*Writer, pool.Workers())
-	counts := sched.NewCombinable(pool.Workers(), func() int64 { return 0 })
-	var aff sched.AffinityState
-	rec := telemetry.FromContext(ctx)
-
-	var processed int64
-	maxLevel := int32(0)
-	for lv := int32(1); ; lv++ {
-		main, spill := qp.cur.Entries()
-		total := len(main) + len(spill)
-		if total == 0 {
-			break
-		}
-		maxLevel = lv - 1
-		var edges int64
-		var levelStart time.Time
-		if telemetry.Active(rec) {
-			edges = frontierEdges(g, main, spill)
-			levelStart = telemetry.Now(rec)
-		}
-		for w := range writers {
-			writers[w] = qp.next.NewWriter()
-		}
-		before := counts.Combine(0, addInt64)
-		err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: total, Grain: grain}, part, &aff,
-			func(lo, hi int, c *sched.Ctx) {
-				wr := writers[c.Worker()]
-				local := counts.Local(c)
-				for i := lo; i < hi; i++ {
-					*local += qp.processEntry(main, spill, i, lv, wr)
-				}
-			})
-		for w := range writers {
-			writers[w].Flush()
-		}
-		levelProcessed := counts.Combine(0, addInt64) - before
-		processed += levelProcessed
-		if telemetry.Active(rec) {
-			nm, ns := qp.next.Entries()
-			s := levelSample(lv-1, levelProcessed, edges, frontierCount(nm, ns))
-			s.Duration = telemetry.Since(rec, levelStart)
-			rec.Record(s)
-		}
-		if err != nil {
-			// Partial level: vertices may already be claimed at level lv.
-			return qp.finish(processed, lv), err
-		}
-		qp.cur, qp.next = qp.next, qp.cur
-		qp.next.Reset()
-	}
-	return qp.finish(processed, maxLevel), nil
+	return NewScratch().BlockTBB(ctx, g, source, pool, part, grain, blockSize, relaxed)
 }
-
-func addInt64(a, b int64) int64 { return a + b }

@@ -52,28 +52,6 @@ func sliceEdges(g *graph.Graph, vs []int32) int64 {
 	return edges
 }
 
-// bagEdges sums the degrees of every vertex in a pennant bag (sequential
-// walk; telemetry pre-pass only).
-func bagEdges(g *graph.Graph, b *Bag) int64 {
-	var edges int64
-	var walk func(n *pennantNode)
-	walk = func(n *pennantNode) {
-		for n != nil {
-			for _, v := range n.items {
-				edges += int64(g.Degree(v))
-			}
-			if n.left != nil {
-				walk(n.left)
-			}
-			n = n.right
-		}
-	}
-	for _, p := range b.pennants {
-		walk(p)
-	}
-	return edges
-}
-
 // levelSample builds the PhaseSample for one completed BFS level: the
 // frontier being expanded was at depth `depth`, held `items` vertices whose
 // `edges` outgoing edges were relaxed, and claimed `claims` vertices for the

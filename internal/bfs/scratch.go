@@ -1,0 +1,580 @@
+package bfs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"micgraph/internal/graph"
+	"micgraph/internal/sched"
+	"micgraph/internal/telemetry"
+)
+
+// Scratch owns every reusable buffer of the parallel BFS variants: the
+// level array, the flat frontier arrays that replaced the allocating
+// TLS/bag queues, the block-accessed queue pair with its per-worker
+// writers, and the per-worker chunk builders of the bag variant. A kernel
+// run through a Scratch allocates nothing on its hot path in steady state
+// (pinned by the alloc-regression tests); the first run on a new graph
+// size grows the buffers once.
+//
+// A Scratch is single-run: one BFS at a time. The returned Result aliases
+// scratch-owned memory (Levels, Widths), valid until the next run on the
+// same Scratch — callers that need the result beyond that must copy it.
+// The package-level entry points (BlockTeamCtx, TLSTeamCtx, ...) keep
+// their allocate-per-call semantics by running on a throwaway Scratch.
+type Scratch struct {
+	// levels is the shared level array (claim target of every variant).
+	levels []int32
+
+	// Flat frontier arrays (TLS and hybrid variants).
+	frontA, frontB []int32
+	locals         []localQueue
+	hlocals        []hybridLocal
+
+	// Block-accessed queue pair (OpenMP-Block / TBB-Block variants).
+	qA, qB     *BlockQueue
+	writers    []*Writer
+	qBlockSize int
+
+	// Per-worker counters (processed entries per level).
+	counts []paddedCount
+
+	// Bag variant: per-worker chunk builders and the flattened chunk list
+	// of the current frontier. Chunks are leased from the pool's Arena.
+	builders []chunkBuilder
+	flat     [][]int32
+
+	// widths backs Result.Widths.
+	widths []int64
+
+	// Per-run/per-level state read by the resident loop bodies below. The
+	// bodies are created once per Scratch and capture only s, so steady-state
+	// levels dispatch with zero allocations (pinned by the kerneltest alloc
+	// gates): the per-level variation travels through these fields, set by
+	// the driving method between loops.
+	xadj       []int64
+	adj        []int32
+	lv         int32
+	relaxed    bool
+	main       []int32      // block variants: current frontier (main segment)
+	spill      []int32      // block variants: current frontier (spill segment)
+	cur        []int32      // TLS/hybrid: current flat frontier
+	curChunks  [][]int32    // bag: current chunked frontier
+	chunkGrain int          // bag: chunk capacity
+	arena      *sched.Arena // bag: chunk lease pool
+
+	blockBody    func(lo, hi, w int)
+	blockBodyTBB func(lo, hi int, c *sched.Ctx)
+	tlsBody      func(lo, hi, w int)
+	bagBody      func(lo, hi int, c *sched.Ctx)
+	aff          sched.AffinityState // TBB affinity map (resident, escapes)
+	hybridTD     func(lo, hi, w int)
+	hybridBU     func(lo, hi, w int)
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// paddedCount keeps per-worker counters off each other's cache lines.
+type paddedCount struct {
+	n int64
+	_ [56]byte
+}
+
+// localQueue is one worker's thread-local next-level queue, padded so the
+// slice headers of neighbouring workers do not share a cache line.
+type localQueue struct {
+	buf []int32
+	_   [40]byte
+}
+
+// chunkBuilder accumulates next-level vertices per worker for the bag
+// variant: a hopper chunk that moves onto the worker's chunk list when
+// full. Chunks are leased from the scheduler arena, so steady-state levels
+// recycle the previous frontier's memory instead of allocating.
+type chunkBuilder struct {
+	hopper    []int32
+	chunks    [][]int32
+	claims    int64
+	processed int64
+	_         [16]byte
+}
+
+// ensureCommon sizes the level array and resets it to Unvisited.
+func (s *Scratch) ensureCommon(n int) {
+	if cap(s.levels) < n {
+		s.levels = make([]int32, n)
+	}
+	s.levels = s.levels[:n]
+	for i := range s.levels {
+		s.levels[i] = Unvisited
+	}
+}
+
+// ensureWorkers sizes the per-worker state shared by the variants.
+func (s *Scratch) ensureWorkers(workers int) {
+	if len(s.counts) < workers {
+		s.counts = make([]paddedCount, workers)
+	}
+	if len(s.locals) < workers {
+		s.locals = make([]localQueue, workers)
+	}
+	if len(s.builders) < workers {
+		s.builders = make([]chunkBuilder, workers)
+	}
+}
+
+// ensureFlat sizes the two flat frontier arrays to hold n vertices.
+func (s *Scratch) ensureFlat(n int) {
+	if cap(s.frontA) < n {
+		s.frontA = make([]int32, 0, n)
+	}
+	if cap(s.frontB) < n {
+		s.frontB = make([]int32, 0, n)
+	}
+}
+
+// ensureBlock sizes the block queue pair and per-worker writers.
+func (s *Scratch) ensureBlock(n, workers, blockSize int) {
+	capacity := n + workers*blockSize
+	if s.qA == nil || s.qBlockSize != blockSize || s.qA.Cap() < capacity {
+		s.qA = NewBlockQueue(capacity, blockSize)
+		s.qB = NewBlockQueue(capacity, blockSize)
+		s.qBlockSize = blockSize
+	} else {
+		s.qA.Reset()
+		s.qB.Reset()
+	}
+	if len(s.writers) < workers {
+		old := len(s.writers)
+		s.writers = append(s.writers, make([]*Writer, workers-old)...)
+		for i := old; i < workers; i++ {
+			s.writers[i] = &Writer{}
+		}
+	}
+}
+
+// finish assembles the Result bookkeeping after the level loop.
+func (s *Scratch) finish(processed int64, maxLevel int32) Result {
+	res := Result{
+		Levels:    s.levels,
+		NumLevels: int(maxLevel) + 1,
+		Processed: processed,
+	}
+	res.Widths = s.widthsOf(res.NumLevels)
+	var reached int64
+	for _, w := range res.Widths {
+		reached += w
+	}
+	res.Duplicates = processed - reached
+	return res
+}
+
+// widthsOf is widthsOf writing into the scratch-owned widths buffer.
+func (s *Scratch) widthsOf(numLevels int) []int64 {
+	if cap(s.widths) < numLevels {
+		s.widths = make([]int64, numLevels)
+	}
+	s.widths = s.widths[:numLevels]
+	for i := range s.widths {
+		s.widths[i] = 0
+	}
+	for _, lv := range s.levels {
+		if lv >= 0 && int(lv) < numLevels {
+			s.widths[lv]++
+		}
+	}
+	return s.widths
+}
+
+// expandBlockEntry scans one block-queue entry, expanding its neighbors
+// into wr over the raw CSR arrays. Returns 1 for a real vertex, 0 for
+// sentinel padding.
+func expandBlockEntry(xadj []int64, adj, levels []int32, main, spill []int32, i int, lv int32, relaxed bool, wr *Writer) int64 {
+	var v int32
+	if i < len(main) {
+		v = main[i]
+	} else {
+		v = spill[i-len(main)]
+	}
+	if v == Sentinel {
+		return 0
+	}
+	if relaxed {
+		for j := xadj[v]; j < xadj[v+1]; j++ {
+			if w := adj[j]; claimRelaxed(levels, w, lv) {
+				wr.Push(w)
+			}
+		}
+	} else {
+		for j := xadj[v]; j < xadj[v+1]; j++ {
+			if w := adj[j]; claimLocked(levels, w, lv) {
+				wr.Push(w)
+			}
+		}
+	}
+	return 1
+}
+
+// BlockTeam runs the block-queue layered BFS (OpenMP-Block[-relaxed]) on
+// the scratch's pooled state. See BlockTeamCtx for semantics.
+func (s *Scratch) BlockTeam(ctx context.Context, g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions, blockSize int, relaxed bool) (Result, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	n := g.NumVertices()
+	workers := team.Workers()
+	opts = opts.WithSerialCutoff(workers)
+	s.ensureCommon(n)
+	s.ensureWorkers(workers)
+	s.ensureBlock(n, workers, blockSize)
+	if n == 0 {
+		return s.finish(0, 0), nil
+	}
+	levels := s.levels
+	s.xadj, s.adj, s.relaxed = g.Xadj(), g.AdjRaw(), relaxed
+	cur, next := s.qA, s.qB
+	levels[source] = 0
+	seedBlock(cur, s.writers[0], source)
+	if s.blockBody == nil {
+		s.blockBody = func(lo, hi, w int) {
+			wr := s.writers[w]
+			var count int64
+			for i := lo; i < hi; i++ {
+				count += expandBlockEntry(s.xadj, s.adj, s.levels, s.main, s.spill, i, s.lv, s.relaxed, wr)
+			}
+			s.counts[w].n += count
+		}
+	}
+
+	rec := telemetry.FromContext(ctx)
+	var processed int64
+	maxLevel := int32(0)
+	for lv := int32(1); ; lv++ {
+		main, spill := cur.Entries()
+		total := len(main) + len(spill)
+		if total == 0 {
+			break
+		}
+		maxLevel = lv - 1
+		var edges int64
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			edges = frontierEdges(g, main, spill)
+			levelStart = telemetry.Now(rec)
+		}
+		for w := 0; w < workers; w++ {
+			s.writers[w].Reset(next)
+			s.counts[w].n = 0
+		}
+		s.main, s.spill, s.lv = main, spill, lv
+		err := team.ForCtx(ctx, total, opts, s.blockBody)
+		var levelProcessed int64
+		for w := 0; w < workers; w++ {
+			s.writers[w].Flush()
+			levelProcessed += s.counts[w].n
+		}
+		processed += levelProcessed
+		if telemetry.Active(rec) {
+			nm, ns := next.Entries()
+			sample := levelSample(lv-1, levelProcessed, edges, frontierCount(nm, ns))
+			sample.Duration = telemetry.Since(rec, levelStart)
+			rec.Record(sample)
+		}
+		if err != nil {
+			// Chunks that ran before the abort may have claimed vertices
+			// at level lv, so the partial result spans levels 0..lv.
+			return s.finish(processed, lv), err
+		}
+		cur, next = next, cur
+		next.Reset()
+	}
+	return s.finish(processed, maxLevel), nil
+}
+
+// BlockTBB runs the block-queue layered BFS on TBB-style partitioned
+// ranges using the scratch's pooled state. See BlockTBBCtx for semantics.
+func (s *Scratch) BlockTBB(ctx context.Context, g *graph.Graph, source int32, pool *sched.Pool, part sched.Partitioner, grain, blockSize int, relaxed bool) (Result, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	n := g.NumVertices()
+	workers := pool.Workers()
+	s.ensureCommon(n)
+	s.ensureWorkers(workers)
+	s.ensureBlock(n, workers, blockSize)
+	if n == 0 {
+		return s.finish(0, 0), nil
+	}
+	levels := s.levels
+	s.xadj, s.adj, s.relaxed = g.Xadj(), g.AdjRaw(), relaxed
+	cur, next := s.qA, s.qB
+	levels[source] = 0
+	seedBlock(cur, s.writers[0], source)
+	if s.blockBodyTBB == nil {
+		s.blockBodyTBB = func(lo, hi int, c *sched.Ctx) {
+			w := c.Worker()
+			wr := s.writers[w]
+			var count int64
+			for i := lo; i < hi; i++ {
+				count += expandBlockEntry(s.xadj, s.adj, s.levels, s.main, s.spill, i, s.lv, s.relaxed, wr)
+			}
+			s.counts[w].n += count
+		}
+	}
+
+	rec := telemetry.FromContext(ctx)
+	var processed int64
+	maxLevel := int32(0)
+	for lv := int32(1); ; lv++ {
+		main, spill := cur.Entries()
+		total := len(main) + len(spill)
+		if total == 0 {
+			break
+		}
+		maxLevel = lv - 1
+		var edges int64
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			edges = frontierEdges(g, main, spill)
+			levelStart = telemetry.Now(rec)
+		}
+		for w := 0; w < workers; w++ {
+			s.writers[w].Reset(next)
+			s.counts[w].n = 0
+		}
+		s.main, s.spill, s.lv = main, spill, lv
+		err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: total, Grain: grain}, part, &s.aff, s.blockBodyTBB)
+		var levelProcessed int64
+		for w := 0; w < workers; w++ {
+			s.writers[w].Flush()
+			levelProcessed += s.counts[w].n
+		}
+		processed += levelProcessed
+		if telemetry.Active(rec) {
+			nm, ns := next.Entries()
+			sample := levelSample(lv-1, levelProcessed, edges, frontierCount(nm, ns))
+			sample.Duration = telemetry.Since(rec, levelStart)
+			rec.Record(sample)
+		}
+		if err != nil {
+			// Partial level: vertices may already be claimed at level lv.
+			return s.finish(processed, lv), err
+		}
+		cur, next = next, cur
+		next.Reset()
+	}
+	return s.finish(processed, maxLevel), nil
+}
+
+// seedBlock places the source vertex in q using a scratch writer.
+func seedBlock(q *BlockQueue, w *Writer, source int32) {
+	w.Reset(q)
+	w.Push(source)
+	w.Flush()
+}
+
+// TLSTeam runs the SNAP-style thread-local-queue BFS on the scratch's
+// pooled state: the thread-local queues and both flat frontier arrays are
+// retained across runs. See TLSTeamCtx for semantics.
+func (s *Scratch) TLSTeam(ctx context.Context, g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions) (Result, error) {
+	n := g.NumVertices()
+	workers := team.Workers()
+	opts = opts.WithSerialCutoff(workers)
+	s.ensureCommon(n)
+	s.ensureWorkers(workers)
+	s.ensureFlat(n)
+	if n == 0 {
+		return s.finish(0, 0), nil
+	}
+	levels := s.levels
+	s.xadj, s.adj = g.Xadj(), g.AdjRaw()
+	levels[source] = 0
+	cur := append(s.frontA[:0], source)
+	next := s.frontB[:0]
+	rec := telemetry.FromContext(ctx)
+	if s.tlsBody == nil {
+		s.tlsBody = func(lo, hi, w int) {
+			xadj, adj, lvls, lv := s.xadj, s.adj, s.levels, s.lv
+			local := s.locals[w].buf
+			for i := lo; i < hi; i++ {
+				v := s.cur[i]
+				for j := xadj[v]; j < xadj[v+1]; j++ {
+					u := adj[j]
+					// Check before locking (the paper's improvement), then
+					// claim with CAS — the lock-free equivalent of SNAP's
+					// per-vertex lock.
+					if atomic.LoadInt32(&lvls[u]) != Unvisited {
+						continue
+					}
+					if claimLocked(lvls, u, lv) {
+						local = append(local, u)
+					}
+				}
+			}
+			s.locals[w].buf = local
+		}
+	}
+
+	var processed int64
+	maxLevel := int32(0)
+	for lv := int32(1); len(cur) > 0; lv++ {
+		maxLevel = lv - 1
+		processed += int64(len(cur))
+		var edges int64
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			edges = sliceEdges(g, cur)
+			levelStart = telemetry.Now(rec)
+		}
+		for w := 0; w < workers; w++ {
+			s.locals[w].buf = s.locals[w].buf[:0]
+		}
+		curSnapshot := cur
+		s.cur, s.lv = curSnapshot, lv
+		err := team.ForCtx(ctx, len(curSnapshot), opts, s.tlsBody)
+		if err != nil {
+			// Partial level: vertices may already be claimed at level lv.
+			res := s.finish(processed, lv)
+			res.Duplicates = 0
+			return res, err
+		}
+		// Merge local queues into the global queue (level barrier).
+		next = next[:0]
+		for w := 0; w < workers; w++ {
+			next = append(next, s.locals[w].buf...)
+		}
+		if telemetry.Active(rec) {
+			sample := levelSample(lv-1, int64(len(curSnapshot)), edges, int64(len(next)))
+			sample.Duration = telemetry.Since(rec, levelStart)
+			rec.Record(sample)
+		}
+		cur, next = next, cur
+	}
+	s.frontA, s.frontB = cur[:0], next[:0]
+	res := s.finish(processed, maxLevel)
+	res.Duplicates = 0 // locked claims: every vertex enters exactly one queue
+	return res, nil
+}
+
+// BagCilk runs the Cilk bag-BFS on the scratch's pooled state. The
+// per-level frontier is the pennant bag's flattened form — a list of
+// grain-sized chunks — built by per-worker chunk builders whose chunks are
+// leased from the pool's arena: the chunks of the consumed frontier are
+// returned as they are traversed and immediately back the next frontier,
+// so steady-state levels allocate nothing. Claim semantics (relaxed,
+// benign duplicates), traversal grain and telemetry samples are identical
+// to the pennant-tree original. See BagCilkCtx for semantics.
+func (s *Scratch) BagCilk(ctx context.Context, g *graph.Graph, source int32, pool *sched.Pool, grain int) (Result, error) {
+	if grain <= 0 {
+		grain = DefaultBagGrain
+	}
+	n := g.NumVertices()
+	workers := pool.Workers()
+	s.ensureCommon(n)
+	s.ensureWorkers(workers)
+	if n == 0 {
+		return s.finish(0, 0), nil
+	}
+	levels := s.levels
+	s.xadj, s.adj = g.Xadj(), g.AdjRaw()
+	arena := pool.Arena()
+	s.arena, s.chunkGrain = arena, grain
+	levels[source] = 0
+
+	flat := s.flat[:0]
+	seed := arena.Get(0, grain)
+	flat = append(flat, append(seed, source))
+	if s.bagBody == nil {
+		s.bagBody = func(lo, hi int, c *sched.Ctx) {
+			xadj, adj, lvls, lv := s.xadj, s.adj, s.levels, s.lv
+			w := c.Worker()
+			bb := &s.builders[w]
+			for ci := lo; ci < hi; ci++ {
+				items := s.curChunks[ci]
+				for _, v := range items {
+					for j := xadj[v]; j < xadj[v+1]; j++ {
+						u := adj[j]
+						if claimRelaxed(lvls, u, lv) {
+							if len(bb.hopper) == cap(bb.hopper) {
+								if cap(bb.hopper) > 0 {
+									bb.chunks = append(bb.chunks, bb.hopper)
+								}
+								bb.hopper = s.arena.Get(w, s.chunkGrain)
+							}
+							bb.hopper = append(bb.hopper, u)
+							bb.claims++
+						}
+					}
+				}
+				bb.processed += int64(len(items))
+				s.arena.Put(w, items) // consumed chunk feeds the next frontier
+				s.curChunks[ci] = nil
+			}
+		}
+	}
+
+	rec := telemetry.FromContext(ctx)
+	var processed int64
+	maxLevel := int32(0)
+	for lv := int32(1); len(flat) > 0; lv++ {
+		maxLevel = lv - 1
+		var edges int64
+		var levelStart time.Time
+		if telemetry.Active(rec) {
+			edges = chunksEdges(g, flat)
+			levelStart = telemetry.Now(rec)
+		}
+		for w := 0; w < workers; w++ {
+			bb := &s.builders[w]
+			bb.hopper = bb.hopper[:0]
+			bb.chunks = bb.chunks[:0]
+			bb.claims = 0
+			bb.processed = 0
+		}
+		s.curChunks, s.lv = flat, lv
+		// Grain 1: each task claims whole chunks, the bag-walk granularity.
+		err := pool.ParallelForCtx(ctx, len(flat), 1, s.bagBody)
+		var levelProcessed, claims int64
+		for w := 0; w < workers; w++ {
+			levelProcessed += s.builders[w].processed
+			claims += s.builders[w].claims
+		}
+		processed += levelProcessed
+		if telemetry.Active(rec) {
+			sample := levelSample(lv-1, levelProcessed, edges, claims)
+			sample.Duration = telemetry.Since(rec, levelStart)
+			rec.Record(sample)
+		}
+		if err != nil {
+			// Partial level: vertices may already be claimed at level lv.
+			s.flat = flat[:0]
+			return s.finish(processed, lv), err
+		}
+		// Level barrier: concatenate the per-worker chunk lists (the bag
+		// merge) into the next flattened frontier.
+		flat = flat[:0]
+		for w := 0; w < workers; w++ {
+			bb := &s.builders[w]
+			flat = append(flat, bb.chunks...)
+			bb.chunks = bb.chunks[:0]
+			if len(bb.hopper) > 0 {
+				flat = append(flat, bb.hopper)
+				bb.hopper = nil
+			}
+		}
+	}
+	s.flat = flat[:0]
+	return s.finish(processed, maxLevel), nil
+}
+
+// chunksEdges sums the degrees of every vertex in a chunked frontier
+// (telemetry pre-pass only).
+func chunksEdges(g *graph.Graph, chunks [][]int32) int64 {
+	var edges int64
+	for _, items := range chunks {
+		edges += sliceEdges(g, items)
+	}
+	return edges
+}

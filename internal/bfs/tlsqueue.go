@@ -2,12 +2,9 @@ package bfs
 
 import (
 	"context"
-	"sync/atomic"
-	"time"
 
 	"micgraph/internal/graph"
 	"micgraph/internal/sched"
-	"micgraph/internal/telemetry"
 )
 
 // TLSTeam runs the SNAP v0.4-style layered BFS (the paper's OpenMP-TLS):
@@ -17,6 +14,9 @@ import (
 // insertion so it enters exactly one local queue. The paper's small
 // improvement is included: the level is checked before attempting the lock,
 // skipping the expensive operation for already-visited vertices.
+//
+// The implementation lives on Scratch (scratch.go); this entry point runs
+// on a throwaway Scratch, keeping allocate-per-call semantics.
 func TLSTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions) Result {
 	res, err := TLSTeamCtx(nil, g, source, team, opts)
 	if err != nil {
@@ -29,74 +29,5 @@ func TLSTeam(g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptio
 // boundaries and between levels; on failure it returns the partial
 // traversal state alongside the error.
 func TLSTeamCtx(ctx context.Context, g *graph.Graph, source int32, team *sched.Team, opts sched.ForOptions) (Result, error) {
-	n := g.NumVertices()
-	levels := makeLevels(n)
-	res := Result{Levels: levels}
-	if n == 0 {
-		return res, nil
-	}
-	levels[source] = 0
-
-	workers := team.Workers()
-	locals := make([][]int32, workers)
-	cur := []int32{source}
-	next := make([]int32, 0, n)
-	rec := telemetry.FromContext(ctx)
-
-	var processed int64
-	maxLevel := int32(0)
-	for lv := int32(1); len(cur) > 0; lv++ {
-		maxLevel = lv - 1
-		processed += int64(len(cur))
-		var edges int64
-		var levelStart time.Time
-		if telemetry.Active(rec) {
-			edges = sliceEdges(g, cur)
-			levelStart = telemetry.Now(rec)
-		}
-		for w := range locals {
-			locals[w] = locals[w][:0]
-		}
-		curSnapshot := cur
-		err := team.ForCtx(ctx, len(curSnapshot), opts, func(lo, hi, w int) {
-			local := locals[w]
-			for i := lo; i < hi; i++ {
-				v := curSnapshot[i]
-				for _, u := range g.Adj(v) {
-					// Check before locking (the paper's improvement), then
-					// claim with CAS — the lock-free equivalent of SNAP's
-					// per-vertex lock.
-					if atomic.LoadInt32(&levels[u]) != Unvisited {
-						continue
-					}
-					if claimLocked(levels, u, lv) {
-						local = append(local, u)
-					}
-				}
-			}
-			locals[w] = local
-		})
-		if err != nil {
-			// Partial level: vertices may already be claimed at level lv.
-			res.NumLevels = int(lv) + 1
-			res.Processed = processed
-			res.Widths = widthsOf(levels, res.NumLevels)
-			return res, err
-		}
-		// Merge local queues into the global queue (level barrier).
-		next = next[:0]
-		for _, local := range locals {
-			next = append(next, local...)
-		}
-		if telemetry.Active(rec) {
-			s := levelSample(lv-1, int64(len(curSnapshot)), edges, int64(len(next)))
-			s.Duration = telemetry.Since(rec, levelStart)
-			rec.Record(s)
-		}
-		cur, next = next, cur
-	}
-	res.NumLevels = int(maxLevel) + 1
-	res.Processed = processed
-	res.Widths = widthsOf(levels, res.NumLevels)
-	return res, nil
+	return NewScratch().TLSTeam(ctx, g, source, team, opts)
 }

@@ -144,7 +144,7 @@ func (n *Node) load(node string) (int, bool) {
 func (n *Node) route(spec serve.JobSpec) string {
 	key := spec.PlacementKey()
 	switch spec.Kind {
-	case serve.KindBFS, serve.KindColoring, serve.KindIrregular:
+	case serve.KindBFS, serve.KindColoring, serve.KindComponents, serve.KindIrregular:
 		if pick := PickBounded(n.ring.Replicas(key, n.cfg.Replication), n.load, n.cfg.LoadFactor); pick != "" {
 			return pick
 		}

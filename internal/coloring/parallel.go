@@ -10,10 +10,10 @@ import (
 	"micgraph/internal/telemetry"
 )
 
-// This file implements the iterative parallel speculative coloring
-// (Algorithms 2–4): rounds of tentative parallel coloring followed by
-// parallel conflict detection, until no conflicts remain. The three entry
-// points differ only in the runtime carrying the two parallel loops,
+// This file declares the iterative parallel speculative coloring entry
+// points (Algorithms 2–4): rounds of tentative parallel coloring followed
+// by parallel conflict detection, until no conflicts remain. The three
+// variants differ only in the runtime carrying the two parallel loops,
 // mirroring the paper's three implementations:
 //
 //   - ColorTeam:  OpenMP parallel for under a scheduling policy (§IV-A1);
@@ -21,47 +21,14 @@ import (
 //     (§IV-A2);
 //   - ColorTBB:   tbb::parallel_for over a blocked range with a partitioner,
 //     enumerable_thread_specific localFC and a combinable max (§IV-A3).
+//
+// The implementations live on Scratch (scratch.go), which owns every
+// reusable buffer; the entry points here run on a throwaway Scratch and so
+// keep their historical allocate-per-call semantics.
 
 // localFC is one worker's forbidden-color scratch array: fc[c] == v marks
 // color c forbidden for vertex v. Allocated once per worker, size Δ+2.
 type localFC []int32
-
-func newLocalFC(maxDegree int) localFC {
-	fc := make(localFC, maxDegree+2)
-	for i := range fc {
-		fc[i] = -1
-	}
-	return fc
-}
-
-// tentativeOne speculatively colors v: gather neighbor colors (atomically,
-// they may be written concurrently), then First Fit. Returns the color.
-func tentativeOne(g *graph.Graph, colors []int32, fc localFC, v int32) int32 {
-	for _, w := range g.Adj(v) {
-		if c := atomic.LoadInt32(&colors[w]); c > 0 {
-			fc[c] = v
-		}
-	}
-	c := int32(1)
-	for fc[c] == v {
-		c++
-	}
-	atomic.StoreInt32(&colors[v], c)
-	return c
-}
-
-// conflictOne checks v against its neighbors; on a monochromatic edge the
-// smaller-id endpoint is queued for recoloring (Algorithm 4). Returns true
-// if v must be revisited.
-func conflictOne(g *graph.Graph, colors []int32, v int32) bool {
-	cv := atomic.LoadInt32(&colors[v])
-	for _, w := range g.Adj(v) {
-		if cv == atomic.LoadInt32(&colors[w]) && v < w {
-			return true
-		}
-	}
-	return false
-}
 
 // appendConflict reserves a slot in the shared conflict array with an atomic
 // fetch-and-add, the exact structure the paper uses ("we use an atomic fetch
@@ -104,68 +71,7 @@ func ColorTeam(g *graph.Graph, team *sched.Team, opts sched.ForOptions) Result {
 // be nil) is polled at chunk-claim boundaries and between rounds. On
 // failure it returns the partial coloring alongside the error.
 func ColorTeamCtx(ctx context.Context, g *graph.Graph, team *sched.Team, opts sched.ForOptions) (Result, error) {
-	n := g.NumVertices()
-	colors := make([]int32, n)
-	fcs := make([]localFC, team.Workers())
-	for i := range fcs {
-		fcs[i] = newLocalFC(g.MaxDegree())
-	}
-	visit := graph.IdentityPermutation(n)
-	res := Result{Colors: colors}
-	maxColor := int32(0)
-	rec := telemetry.FromContext(ctx)
-
-	for len(visit) > 0 {
-		res.Rounds++
-		var roundStart time.Time
-		if telemetry.Active(rec) {
-			roundStart = telemetry.Now(rec)
-		}
-		// Tentative coloring (Algorithm 3) with per-worker local maxima,
-		// reduced by the main goroutine afterwards.
-		locals := make([]int32, team.Workers())
-		err := team.ForCtx(ctx, len(visit), opts, func(lo, hi, w int) {
-			fc := fcs[w]
-			localMax := locals[w]
-			for i := lo; i < hi; i++ {
-				if c := tentativeOne(g, colors, fc, visit[i]); c > localMax {
-					localMax = c
-				}
-			}
-			locals[w] = localMax
-		})
-		for _, lm := range locals {
-			if lm > maxColor {
-				maxColor = lm
-			}
-		}
-		if err != nil {
-			res.NumColors = int(maxColor)
-			return res, err
-		}
-
-		// Conflict detection (Algorithm 4).
-		next := make([]int32, len(visit))
-		var count atomic.Int64
-		err = team.ForCtx(ctx, len(visit), opts, func(lo, hi, w int) {
-			for i := lo; i < hi; i++ {
-				if v := visit[i]; conflictOne(g, colors, v) {
-					appendConflict(next, &count, v)
-				}
-			}
-		})
-		if err != nil {
-			res.NumColors = int(maxColor)
-			return res, err
-		}
-		if telemetry.Active(rec) {
-			rec.Record(roundSample(rec, g, res.Rounds-1, visit, int(count.Load()), roundStart))
-		}
-		visit = next[:count.Load()]
-		res.Conflicts = append(res.Conflicts, len(visit))
-	}
-	res.NumColors = int(maxColor)
-	return res, nil
+	return NewScratch().ColorTeam(ctx, g, team, opts)
 }
 
 // CilkVariant selects how the Cilk implementation obtains its localFC
@@ -203,70 +109,7 @@ func ColorCilk(g *graph.Graph, pool *sched.Pool, grain int, variant CilkVariant)
 // boundaries and between rounds; on failure it returns the partial
 // coloring alongside the error.
 func ColorCilkCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, grain int, variant CilkVariant) (Result, error) {
-	n := g.NumVertices()
-	colors := make([]int32, n)
-	workers := pool.Workers()
-	var fcView func(c *sched.Ctx) localFC
-	switch variant {
-	case CilkWorkerID:
-		fcs := make([]localFC, workers)
-		for i := range fcs {
-			fcs[i] = newLocalFC(g.MaxDegree())
-		}
-		fcView = func(c *sched.Ctx) localFC { return fcs[c.Worker()] }
-	case CilkHolder:
-		holder := sched.NewHolder(workers, func() localFC { return newLocalFC(g.MaxDegree()) })
-		fcView = func(c *sched.Ctx) localFC { return *holder.View(c) }
-	}
-
-	visit := graph.IdentityPermutation(n)
-	res := Result{Colors: colors}
-	reducer := sched.NewReducerMax(workers, 0)
-	rec := telemetry.FromContext(ctx)
-
-	for len(visit) > 0 {
-		res.Rounds++
-		vs := visit
-		var roundStart time.Time
-		if telemetry.Active(rec) {
-			roundStart = telemetry.Now(rec)
-		}
-		err := pool.ParallelForCtx(ctx, len(vs), grain, func(lo, hi int, c *sched.Ctx) {
-			fc := fcView(c)
-			localMax := int32(0)
-			for i := lo; i < hi; i++ {
-				if cc := tentativeOne(g, colors, fc, vs[i]); cc > localMax {
-					localMax = cc
-				}
-			}
-			reducer.Update(c, int(localMax))
-		})
-		if err != nil {
-			res.NumColors = reducer.Get()
-			return res, err
-		}
-
-		next := make([]int32, len(vs))
-		var count atomic.Int64
-		err = pool.ParallelForCtx(ctx, len(vs), grain, func(lo, hi int, c *sched.Ctx) {
-			for i := lo; i < hi; i++ {
-				if v := vs[i]; conflictOne(g, colors, v) {
-					appendConflict(next, &count, v)
-				}
-			}
-		})
-		if err != nil {
-			res.NumColors = reducer.Get()
-			return res, err
-		}
-		if telemetry.Active(rec) {
-			rec.Record(roundSample(rec, g, res.Rounds-1, vs, int(count.Load()), roundStart))
-		}
-		visit = next[:count.Load()]
-		res.Conflicts = append(res.Conflicts, len(visit))
-	}
-	res.NumColors = reducer.Get()
-	return res, nil
+	return NewScratch().ColorCilk(ctx, g, pool, grain, variant)
 }
 
 // ColorTBB runs the iterative parallel coloring as TBB parallel_for calls
@@ -284,67 +127,5 @@ func ColorTBB(g *graph.Graph, pool *sched.Pool, part sched.Partitioner, grain in
 // boundaries and between rounds; on failure it returns the partial
 // coloring alongside the error.
 func ColorTBBCtx(ctx context.Context, g *graph.Graph, pool *sched.Pool, part sched.Partitioner, grain int) (Result, error) {
-	n := g.NumVertices()
-	colors := make([]int32, n)
-	workers := pool.Workers()
-	ets := sched.NewETS(workers, func() localFC { return newLocalFC(g.MaxDegree()) })
-	maxC := sched.NewCombinable(workers, func() int32 { return 0 })
-
-	visit := graph.IdentityPermutation(n)
-	res := Result{Colors: colors}
-	var aff sched.AffinityState
-	rec := telemetry.FromContext(ctx)
-
-	finish := func() int {
-		return int(maxC.Combine(0, func(a, b int32) int32 {
-			if a > b {
-				return a
-			}
-			return b
-		}))
-	}
-	for len(visit) > 0 {
-		res.Rounds++
-		vs := visit
-		var roundStart time.Time
-		if telemetry.Active(rec) {
-			roundStart = telemetry.Now(rec)
-		}
-		err := sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
-			func(lo, hi int, c *sched.Ctx) {
-				fc := *ets.Local(c)
-				local := maxC.Local(c)
-				for i := lo; i < hi; i++ {
-					if cc := tentativeOne(g, colors, fc, vs[i]); cc > *local {
-						*local = cc
-					}
-				}
-			})
-		if err != nil {
-			res.NumColors = finish()
-			return res, err
-		}
-
-		next := make([]int32, len(vs))
-		var count atomic.Int64
-		err = sched.ParallelForRangeCtx(ctx, pool, sched.Range{Lo: 0, Hi: len(vs), Grain: grain}, part, &aff,
-			func(lo, hi int, c *sched.Ctx) {
-				for i := lo; i < hi; i++ {
-					if v := vs[i]; conflictOne(g, colors, v) {
-						appendConflict(next, &count, v)
-					}
-				}
-			})
-		if err != nil {
-			res.NumColors = finish()
-			return res, err
-		}
-		if telemetry.Active(rec) {
-			rec.Record(roundSample(rec, g, res.Rounds-1, vs, int(count.Load()), roundStart))
-		}
-		visit = next[:count.Load()]
-		res.Conflicts = append(res.Conflicts, len(visit))
-	}
-	res.NumColors = finish()
-	return res, nil
+	return NewScratch().ColorTBB(ctx, g, pool, part, grain)
 }

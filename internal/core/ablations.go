@@ -195,6 +195,57 @@ func AblOrdering(s *Suite, m *mic.Machine) *Experiment {
 	return exp
 }
 
+// AblDirection contrasts the direction-optimizing BFS (mic.BFSHybrid,
+// Beamer-style α/β switching as implemented in internal/bfs) with the pure
+// top-down relaxed-block traversal it switches away from. Two speedup
+// curves show how each variant scales; the third series is the per-thread
+// simulated-time ratio top-down/hybrid — above 1.0 means the bottom-up
+// middle levels pay for themselves on that thread count.
+func AblDirection(s *Suite, m *mic.Machine) *Experiment {
+	threads := ThreadSweep()
+	exp := &Experiment{
+		ID:    "abl-direction",
+		Title: "Ablation: direction-optimizing BFS vs pure top-down",
+		Notes: "Geometric means across the suite; sources at |V|/2. The win ratio is simulated top-down time over hybrid time at equal thread count.",
+	}
+	cfg := mic.Config{Kind: mic.OpenMP, Policy: sched.Dynamic, Chunk: 32}
+	type pair struct{ td, hy *mic.Trace }
+	traces := make([]pair, len(s.Graphs))
+	for gi, g := range s.Graphs {
+		src := int32(g.NumVertices() / 2)
+		traces[gi] = pair{
+			td: mic.BFSTrace(m, g, src, mic.NaturalOrder, mic.BFSBlockRelaxed, 32),
+			hy: mic.BFSTrace(m, g, src, mic.NaturalOrder, mic.BFSHybrid, 32),
+		}
+	}
+	tdSpeed := make([]float64, len(threads))
+	hySpeed := make([]float64, len(threads))
+	win := make([]float64, len(threads))
+	for ti, th := range threads {
+		perTD := make([]float64, len(s.Graphs))
+		perHY := make([]float64, len(s.Graphs))
+		perWin := make([]float64, len(s.Graphs))
+		for gi := range s.Graphs {
+			baseTD := mic.Simulate(m, cfg, 1, traces[gi].td)
+			baseHY := mic.Simulate(m, cfg, 1, traces[gi].hy)
+			tTD := mic.Simulate(m, cfg, th, traces[gi].td)
+			tHY := mic.Simulate(m, cfg, th, traces[gi].hy)
+			perTD[gi] = baseTD / tTD
+			perHY[gi] = baseHY / tHY
+			perWin[gi] = tTD / tHY
+		}
+		tdSpeed[ti] = GeoMean(perTD)
+		hySpeed[ti] = GeoMean(perHY)
+		win[ti] = GeoMean(perWin)
+	}
+	exp.Series = append(exp.Series,
+		Series{Label: "top-down (Block-relaxed)", Threads: threads, Values: tdSpeed},
+		Series{Label: "hybrid (direction-optimizing)", Threads: threads, Values: hySpeed},
+		Series{Label: "win ratio (td/hybrid time)", Threads: threads, Values: win},
+	)
+	return exp
+}
+
 // AblModelVsSim contrasts the paper's analytical BFS model with the full
 // simulator at matching assumptions (no overheads in the model): the model
 // is exactly the simulator with uniform vertex costs, zero overheads, and

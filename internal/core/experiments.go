@@ -385,6 +385,8 @@ func ByID(id string, s *Suite, knf, host *mic.Machine) (*Experiment, error) {
 		return AblOrdering(s, knf), nil
 	case "abl-model":
 		return AblModelVsSim(s, knf), nil
+	case "abl-direction":
+		return AblDirection(s, knf), nil
 	case "extra-rmat":
 		return ExtraRMAT(s, knf), nil
 	case "extra-knc":

@@ -168,6 +168,7 @@ func AllIDs() []string {
 		"fig4a", "fig4b", "fig4c", "fig4d",
 		"abl-blocksize", "abl-chunk", "abl-smt",
 		"abl-bonus", "abl-ordering", "abl-model",
+		"abl-direction",
 		"extra-rmat", "extra-knc",
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package kerneltest
+
+// RaceEnabled is false in plain builds; see race_on.go.
+const RaceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package kerneltest
+
+// RaceEnabled mirrors the test binary's -race state. The alloc-regression
+// gates skip under the race detector: instrumentation allocates shadow
+// state on paths that are allocation-free in plain builds, so the ceilings
+// only hold (and are only meaningful) without it.
+const RaceEnabled = true

@@ -222,7 +222,7 @@ func (t *Trace) PhaseStart(i int) time.Duration {
 // behaviour rather than raw kernel time.
 var (
 	kernelGraphs   = []string{"pwtk", "hood", "bmw3_2", "ldoor"}
-	bfsVariants    = []string{"omp-block-relaxed", "tbb-block-relaxed", "bag"}
+	bfsVariants    = []string{"omp-block-relaxed", "tbb-block-relaxed", "bag", "hybrid"}
 	colorVariants  = []string{"openmp", "cilk", "tbb"}
 	irregVariants  = []string{"openmp", "tbb"}
 	sweepWorkloads = []string{"fig1a", "fig1b", "fig2", "abl-chunk"}

@@ -187,6 +187,20 @@ const (
 	// BFSBag: Leiserson–Schardl pennant bag, relaxed insertion, pointer-
 	// heavy traversal and per-level bag merges.
 	BFSBag
+	// BFSHybrid: direction-optimizing traversal — narrow levels expand
+	// top-down like BFSBlockRelaxed, wide middle levels flip to a
+	// bottom-up parent search over the unvisited vertices (Beamer-style
+	// α/β switching, mirroring the real kernel in internal/bfs).
+	BFSHybrid
+)
+
+// Direction-switch thresholds of the simulated hybrid traversal, matching
+// the real kernel's defaults (bfs.HybridConfig zero value): flip to
+// bottom-up when the frontier's out-edges exceed 1/α of the unexplored
+// edges, flip back when the frontier shrinks under |V|/β.
+const (
+	HybridAlpha = 14
+	HybridBeta  = 24
 )
 
 // String names the variant as in Figure 4's legends (runtime prefix is
@@ -201,6 +215,8 @@ func (v BFSVariant) String() string {
 		return "TLS"
 	case BFSBag:
 		return "Bag-relaxed"
+	case BFSHybrid:
+		return "Hybrid"
 	}
 	return "BFS?"
 }
@@ -220,6 +236,10 @@ func BFSTrace(m *Machine, g *graph.Graph, source int32, o Ordering, variant BFSV
 		return tr
 	}
 	levels, numLevels := g.Levels(source)
+	if variant == BFSHybrid {
+		hybridPhases(m, g, o, levels, numLevels, tr)
+		return tr
+	}
 
 	// Bucket vertices by level and attribute each vertex to its minimum-id
 	// parent (the canonical claim winner).
@@ -289,4 +309,93 @@ func BFSTrace(m *Machine, g *graph.Graph, source int32, o Ordering, variant BFSV
 		tr.Phases = append(tr.Phases, Phase{Name: "level", Items: items, Seq: seq})
 	}
 	return tr
+}
+
+// hybridPhases builds the per-level phases of the direction-optimizing
+// traversal. The direction decision replays the real kernel's exactly: a
+// top-down level costs like BFSBlockRelaxed over the frontier; a bottom-up
+// level sweeps every still-unvisited vertex, scanning its adjacency only
+// until a parent on the current frontier is found (the early break that
+// makes bottom-up win on wide levels), with one atomic level store per
+// discovered vertex. Phase names match the real kernel's telemetry
+// ("level-td" / "level-bu"), so instrumented simulator output and Recorder
+// output line up level by level.
+func hybridPhases(m *Machine, g *graph.Graph, o Ordering, levels []int32, numLevels int, tr *Trace) {
+	n := g.NumVertices()
+	miss := m.missPerEdge(o)
+	order := make([][]int32, numLevels)
+	for v := 0; v < n; v++ {
+		if l := levels[v]; l >= 0 {
+			order[l] = append(order[l], int32(v))
+		}
+	}
+	var totalDeg float64
+	for v := 0; v < n; v++ {
+		totalDeg += float64(g.Degree(int32(v)))
+	}
+
+	bottomUp := false
+	exploredDeg := 0.0
+	for l := 0; l < numLevels; l++ {
+		frontier := order[l]
+		var frontierDeg float64
+		for _, v := range frontier {
+			frontierDeg += float64(g.Degree(v))
+		}
+		exploredDeg += frontierDeg
+		unexploredDeg := totalDeg - exploredDeg
+		if !bottomUp && frontierDeg > unexploredDeg/HybridAlpha {
+			bottomUp = true
+		} else if bottomUp && len(frontier) < n/HybridBeta {
+			bottomUp = false
+		}
+
+		if !bottomUp {
+			// Top-down: frontier scan with relaxed claims (BFSBlockRelaxed
+			// costing, flat-array writer instead of block reservations).
+			items := make([]Work, len(frontier))
+			for i, v := range frontier {
+				w := vertexScanWork(m, g, v, miss)
+				var cl float64
+				for _, u := range g.Adj(v) {
+					if levels[u] == int32(l)+1 {
+						cl++
+					}
+				}
+				w.Issue += 2 * cl
+				items[i] = w
+			}
+			tr.Phases = append(tr.Phases, Phase{Name: "level-td", Items: items})
+			continue
+		}
+
+		// Bottom-up: sweep the unvisited vertices, scanning each adjacency
+		// only until a level-l parent turns up.
+		var items []Work
+		for v := 0; v < n; v++ {
+			lv := levels[v]
+			if lv >= 0 && lv <= int32(l) {
+				continue
+			}
+			scanned := 0.0
+			found := false
+			for _, u := range g.Adj(int32(v)) {
+				scanned++
+				if levels[u] == int32(l) {
+					found = true
+					break
+				}
+			}
+			w := Work{
+				Issue: m.IssuePerItem + m.IssuePerEdge*scanned,
+				Stall: (0.15 + miss*scanned) * m.StallPerLine,
+			}
+			if found {
+				w.Atomics++
+				w.Issue += 2
+			}
+			items = append(items, w)
+		}
+		tr.Phases = append(tr.Phases, Phase{Name: "level-bu", Items: items})
+	}
 }

@@ -43,6 +43,9 @@ type Pool struct {
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 	inject   InjectFunc // optional fault hook, fired per task execution
+	arena    *Arena     // resident per-worker scratch (see arena.go)
+	rootMu   sync.Mutex // guards rootFree
+	rootFree []*rootBox // recycled root scopes (see runRoot)
 
 	// counters is the optional scheduler counter sink (nil = off). It is an
 	// atomic pointer because pool workers are already spinning through the
@@ -57,7 +60,49 @@ type worker struct {
 	id     int
 	dq     deque
 	rng    *xrand.Rand
-	stolen bool // whether the task currently executing was obtained by theft
+	stolen bool      // whether the task currently executing was obtained by theft
+	free   []*ctxBox // recycled Ctx+scope pairs, owner-goroutine only
+}
+
+// ctxBox is a Ctx and its child scope allocated as one block so runTask
+// costs zero allocations in steady state. Recycling is safe because a
+// scope is dead once its owner's Sync has observed pending == 0: children
+// only touch the scope through complete(), which for a non-root scope does
+// nothing after the atomic decrement, and every child has decremented
+// before Sync returns. The free list is per-worker and only touched by the
+// worker's own goroutine (runTask runs on it, even when nested via Sync's
+// help-first execution), so no lock is needed.
+type ctxBox struct {
+	c  Ctx
+	sc scope
+}
+
+// getCtx leases a Ctx with a fresh child scope inheriting the run's panic
+// slot and context from parent.
+func (w *worker) getCtx(parent *scope) *Ctx {
+	var b *ctxBox
+	if n := len(w.free); n > 0 {
+		b = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+	} else {
+		b = &ctxBox{}
+		b.c.w = w
+		b.c.sc = &b.sc
+		b.c.box = b
+	}
+	b.sc.err = parent.err
+	b.sc.ctx = parent.ctx
+	return &b.c
+}
+
+// putCtx returns a Ctx leased by getCtx. Only call after Sync has drained
+// the scope (pending == 0).
+func (w *worker) putCtx(c *Ctx) {
+	b := c.box
+	b.sc.err = nil
+	b.sc.ctx = nil
+	w.free = append(w.free, b)
 }
 
 // scope tracks the outstanding children of one spawning task, so Sync knows
@@ -73,7 +118,9 @@ type scope struct {
 
 func (sc *scope) complete() {
 	if sc.pending.Add(-1) == 0 && sc.done != nil {
-		close(sc.done)
+		// A buffered send (not close) so root scopes can be recycled across
+		// runs; each run completes exactly once, so the slot is always free.
+		sc.done <- struct{}{}
 	}
 }
 
@@ -81,8 +128,9 @@ func (sc *scope) complete() {
 // identify its worker (for thread-local storage). A Ctx is only valid within
 // the task invocation it was passed to.
 type Ctx struct {
-	w  *worker
-	sc *scope
+	w   *worker
+	sc  *scope
+	box *ctxBox // back-pointer for recycling; nil for stack-constructed Ctxs
 }
 
 // Worker returns the executing worker's id in [0, Workers()).
@@ -113,7 +161,7 @@ func NewPool(n int) *Pool {
 	if n < 1 {
 		panic(fmt.Sprintf("sched: NewPool(%d): need at least one worker", n))
 	}
-	p := &Pool{workers: make([]*worker, n)}
+	p := &Pool{workers: make([]*worker, n), arena: NewArena(n)}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < n; i++ {
 		p.workers[i] = &worker{pool: p, id: i, rng: xrand.New(uint64(i)*0x9E3779B97F4A7C15 + 1)}
@@ -184,24 +232,64 @@ func (p *Pool) RunE(root func(*Ctx)) error {
 // ctx.Err(). A task panic takes precedence over cancellation. ctx may be
 // nil.
 func (p *Pool) RunCtx(ctx context.Context, root func(*Ctx)) error {
+	return p.runRoot(ctx, task{fn: root})
+}
+
+// rootBox bundles a recyclable root scope with its panic slot, so starting
+// a run allocates nothing in steady state (pinned by the kerneltest alloc
+// gates). Boxes are handed out under rootMu; concurrent runs each hold
+// their own box for the run's duration.
+type rootBox struct {
+	sc   scope
+	slot panicSlot
+}
+
+func (p *Pool) getRoot() *rootBox {
+	p.rootMu.Lock()
+	var rb *rootBox
+	if n := len(p.rootFree); n > 0 {
+		rb = p.rootFree[n-1]
+		p.rootFree = p.rootFree[:n-1]
+	}
+	p.rootMu.Unlock()
+	if rb == nil {
+		rb = &rootBox{}
+		rb.sc.done = make(chan struct{}, 1)
+		rb.sc.err = &rb.slot
+	}
+	rb.slot.reset()
+	return rb
+}
+
+func (p *Pool) putRoot(rb *rootBox) {
+	rb.sc.ctx = nil
+	p.rootMu.Lock()
+	p.rootFree = append(p.rootFree, rb)
+	p.rootMu.Unlock()
+}
+
+// runRoot executes t as the root task of a run on a recycled root scope and
+// blocks until the whole task tree has completed.
+func (p *Pool) runRoot(ctx context.Context, t task) error {
 	p.active.Add(1)
 	defer p.runDone()
 	if p.closed.Load() {
 		return ErrPoolClosed
 	}
-	rootScope := &scope{done: make(chan struct{}), err: &panicSlot{}, ctx: ctx}
-	rootScope.pending.Add(1)
-	p.submit(p.workers[0], task{scope: rootScope, fn: func(w *worker) {
-		runTask(w, rootScope, root)
-	}})
-	<-rootScope.done
-	if pe := rootScope.err.get(); pe != nil {
-		return pe
+	rb := p.getRoot()
+	rb.sc.ctx = ctx
+	rb.sc.pending.Store(1)
+	t.scope = &rb.sc
+	p.submit(p.workers[0], t)
+	<-rb.sc.done
+	var err error
+	if pe := rb.slot.get(); pe != nil {
+		err = pe
+	} else if ctx != nil {
+		err = ctx.Err()
 	}
-	if ctx != nil {
-		return ctx.Err()
-	}
-	return nil
+	p.putRoot(rb)
+	return err
 }
 
 // runDone retires one in-flight run and, when it was the last during a
@@ -214,12 +302,15 @@ func (p *Pool) runDone() {
 	}
 }
 
-// runTask executes fn in a fresh child scope (inheriting the run's panic
-// slot and context) with panic containment, then performs the implicit
-// sync. A panicking task is recorded on the run; its already-spawned
-// children still drain so no goroutine or scope count leaks.
-func runTask(w *worker, parent *scope, fn func(*Ctx)) {
-	ctx := &Ctx{w: w, sc: &scope{err: parent.err, ctx: parent.ctx}}
+// runTask executes t in a recycled child scope (inheriting the run's panic
+// slot and context from t.scope, the parent) with panic containment, then
+// performs the implicit sync and returns the Ctx to the worker's free
+// list. A panicking task is recorded on the run; its already-spawned
+// children still drain so no goroutine or scope count leaks. Range tasks
+// (t.fn == nil) continue the cilk_for split of [t.lo, t.hi).
+func runTask(w *worker, t task) {
+	parent := t.scope
+	ctx := w.getCtx(parent)
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -231,24 +322,43 @@ func runTask(w *worker, parent *scope, fn func(*Ctx)) {
 			w.pool.inject("pool/task", w.id)
 		}
 		if !ctx.Cancelled() {
-			fn(ctx)
+			switch {
+			case t.fn != nil:
+				t.fn(ctx)
+			case t.kind == taskSimple:
+				simpleSplit(ctx, Range{t.lo, t.hi, t.grain}, t.body)
+			case t.kind == taskAuto:
+				autoRun(ctx, Range{t.lo, t.hi, t.grain}, t.body)
+			case t.kind == taskAutoRoot:
+				autoRoot(ctx, Range{t.lo, t.hi, t.grain}, t.body)
+			default:
+				ctx.forSplit(t.lo, t.hi, t.grain, t.body)
+			}
 		}
 	}()
 	ctx.Sync() // implicit sync at task exit, also on panic/cancellation
 	parent.complete()
+	w.putCtx(ctx)
 }
 
 // Spawn schedules f to run concurrently with the continuation of the
 // current task. The child is pushed on the executing worker's own deque
 // (work-first would run it immediately; help-first matches how thieves in
 // the paper's runtimes pick up whole subtrees and is what we implement).
+// The task record carries f directly — no wrapper closure is allocated.
 func (c *Ctx) Spawn(f func(*Ctx)) {
 	sc := c.sc
 	sc.pending.Add(1)
-	w := c.w
-	w.pool.submit(w, task{scope: sc, fn: func(wrk *worker) {
-		runTask(wrk, sc, f)
-	}})
+	c.w.pool.submit(c.w, task{scope: sc, fn: f})
+}
+
+// spawnRange schedules a subrange continuation of the given kind under the
+// current scope. Like Spawn, no wrapper closure is allocated: the shared
+// body rides in the task record.
+func (c *Ctx) spawnRange(kind uint8, r Range, body func(lo, hi int, c *Ctx)) {
+	sc := c.sc
+	sc.pending.Add(1)
+	c.w.pool.submit(c.w, task{scope: sc, body: body, lo: r.Lo, hi: r.Hi, grain: r.Grain, kind: kind})
 }
 
 // Sync blocks until every task spawned by this Ctx has completed. While
@@ -278,9 +388,7 @@ func (p *Pool) submit(w *worker, t task) {
 func (p *Pool) submitTo(workerID int, sc *scope, f func(*Ctx)) {
 	sc.pending.Add(1)
 	w := p.workers[workerID%len(p.workers)]
-	p.submit(w, task{scope: sc, fn: func(wrk *worker) {
-		runTask(wrk, sc, f)
-	}})
+	p.submit(w, task{scope: sc, fn: f})
 }
 
 // loop is the worker scheduler: pop own work, else steal, else sleep.
@@ -342,7 +450,7 @@ func (w *worker) tryRunOne() bool {
 func (w *worker) runWith(t task, stolen bool) {
 	prev := w.stolen
 	w.stolen = stolen
-	t.fn(w)
+	runTask(w, t)
 	w.stolen = prev
 }
 
@@ -374,18 +482,20 @@ func (c *Ctx) For(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 	c.Sync()
 }
 
+// forSplit halves [lo, hi) down to grain, spawning the left half as a
+// range task (a plain struct on the deque — no closure per split) and
+// continuing with the right half, then runs the final subrange inline.
 func (c *Ctx) forSplit(lo, hi, grain int, body func(lo, hi int, c *Ctx)) {
 	counters := c.w.pool.counters.Load()
+	sc := c.sc
 	for hi-lo > grain {
 		if c.Cancelled() {
 			return
 		}
 		counters.Inc(c.w.id, telemetry.RangeSplits)
 		mid := lo + (hi-lo)/2
-		lo2, hi2 := lo, mid
-		c.Spawn(func(cc *Ctx) {
-			cc.forSplit(lo2, hi2, grain, body)
-		})
+		sc.pending.Add(1)
+		c.w.pool.submit(c.w, task{scope: sc, body: body, lo: lo, hi: mid, grain: grain})
 		lo = mid
 	}
 	if c.Cancelled() {
@@ -412,9 +522,14 @@ func (p *Pool) ParallelForE(n, grain int, body func(lo, hi int, c *Ctx)) error {
 }
 
 // ParallelForCtx is ParallelFor with cooperative cancellation, polled at
-// every split boundary.
+// every split boundary. The loop runs as a root range task directly — no
+// wrapper closure — so in steady state the call allocates nothing.
 func (p *Pool) ParallelForCtx(ctx context.Context, n, grain int, body func(lo, hi int, c *Ctx)) error {
-	return p.RunCtx(ctx, func(c *Ctx) {
-		c.For(0, n, grain, body)
-	})
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = DefaultGrain(n, p.Workers())
+	}
+	return p.runRoot(ctx, task{body: body, lo: 0, hi: n, grain: grain})
 }

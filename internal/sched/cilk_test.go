@@ -194,7 +194,7 @@ func TestReducerMax(t *testing.T) {
 
 func TestDequeOrder(t *testing.T) {
 	var d deque
-	mk := func(id int) task { return task{fn: func(*worker) { _ = id }} }
+	mk := func(id int) task { return task{fn: func(*Ctx) { _ = id }} }
 	d.pushBottom(mk(1))
 	d.pushBottom(mk(2))
 	d.pushBottom(mk(3))

@@ -2,12 +2,30 @@ package sched
 
 import "sync"
 
-// task is one unit of work in the work-stealing pool. ctx identifies the
-// spawning scope so Sync can account for completions.
+// task is one unit of work in the work-stealing pool: either a plain task
+// (fn != nil) or a loop subrange [lo, hi) with its body, grain, and split
+// discipline (kind). The range form exists so the recursive cilk_for and
+// TBB partitioner splits can enqueue work without allocating a wrapper
+// closure per split — the body closure is created once per loop and shared
+// by every subrange task. scope is the spawning scope, so Sync can account
+// for completions.
 type task struct {
-	fn    func(w *worker)
 	scope *scope
+	fn    func(*Ctx)
+	body  func(lo, hi int, c *Ctx)
+	lo    int
+	hi    int
+	grain int
+	kind  uint8
 }
+
+// Range-task kinds: how a subrange continues subdividing when executed.
+const (
+	taskFor      uint8 = iota // cilk_for halving split (Ctx.forSplit)
+	taskSimple                // TBB simple partitioner (simpleSplit)
+	taskAuto                  // TBB auto partitioner (autoRun)
+	taskAutoRoot              // TBB auto partitioner seeding (autoRoot)
+)
 
 // deque is a double-ended work queue: the owning worker pushes and pops at
 // the bottom (LIFO, preserving the sequential order Cilk relies on), thieves
@@ -45,16 +63,22 @@ func (d *deque) popBottom() (task, bool) {
 	return t, true
 }
 
-// stealTop removes the oldest task (thieves).
+// stealTop removes the oldest task (thieves). The remaining tasks shift
+// down rather than reslicing forward, so the deque's backing array keeps
+// its full capacity — reslicing with items[1:] would strand one slot per
+// steal and force the owner's next pushes to reallocate, an allocation
+// per steal in steady state.
 func (d *deque) stealTop() (task, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.items) == 0 {
+	n := len(d.items)
+	if n == 0 {
 		return task{}, false
 	}
 	t := d.items[0]
-	d.items[0] = task{}
-	d.items = d.items[1:]
+	copy(d.items, d.items[1:])
+	d.items[n-1] = task{}
+	d.items = d.items[:n-1]
 	return t, true
 }
 

@@ -63,6 +63,15 @@ func (s *panicSlot) record(worker int, v any, stack []byte) {
 	s.has.Store(true)
 }
 
+// reset clears the slot for reuse by the next loop on a resident control
+// block. Must not race with record — callers reset only between loops.
+func (s *panicSlot) reset() {
+	s.mu.Lock()
+	s.err = nil
+	s.has.Store(false)
+	s.mu.Unlock()
+}
+
 func (s *panicSlot) get() *PanicError {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -94,9 +94,9 @@ func ParallelForRangeCtx(ctx context.Context, pool *Pool, r Range, part Partitio
 	}
 	switch part {
 	case SimplePartitioner:
-		return pool.RunCtx(ctx, func(c *Ctx) { simpleSplit(c, r, body) })
+		return pool.runRoot(ctx, task{body: body, lo: r.Lo, hi: r.Hi, grain: r.Grain, kind: taskSimple})
 	case AutoPartitioner:
-		return pool.RunCtx(ctx, func(c *Ctx) { autoRoot(c, r, body) })
+		return pool.runRoot(ctx, task{body: body, lo: r.Lo, hi: r.Hi, grain: r.Grain, kind: taskAutoRoot})
 	case AffinityPartitioner:
 		if aff == nil {
 			panic("sched: AffinityPartitioner requires an AffinityState")
@@ -118,7 +118,7 @@ func simpleSplit(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 		}
 		counters.Inc(c.w.id, telemetry.RangeSplits)
 		left, right := r.Split()
-		c.Spawn(func(cc *Ctx) { simpleSplit(cc, left, body) })
+		c.spawnRange(taskSimple, left, body)
 		r = right
 	}
 	if c.Cancelled() {
@@ -140,8 +140,7 @@ func autoRoot(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 		if lo >= hi {
 			continue
 		}
-		sub := Range{lo, hi, r.Grain}
-		c.Spawn(func(cc *Ctx) { autoRun(cc, sub, body) })
+		c.spawnRange(taskAuto, Range{lo, hi, r.Grain}, body)
 	}
 }
 
@@ -156,8 +155,7 @@ func autoRun(c *Ctx, r Range, body func(lo, hi int, c *Ctx)) {
 		}
 		counters.Inc(c.w.id, telemetry.RangeSplits)
 		left, right := r.Split()
-		rr := right
-		c.Spawn(func(cc *Ctx) { autoRun(cc, rr, body) })
+		c.spawnRange(taskAuto, right, body)
 		r = left
 	}
 	if c.Cancelled() {

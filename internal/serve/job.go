@@ -13,11 +13,12 @@ import (
 
 // Job kinds accepted by POST /jobs.
 const (
-	KindBFS       = "bfs"       // one BFS traversal (bfsrun's variants)
-	KindColoring  = "coloring"  // one speculative coloring run
-	KindIrregular = "irregular" // the micbench irregular kernel
-	KindSweep     = "sweep"     // experiment sweeps (core.RunMany)
-	KindExport    = "export"    // serialise a loaded graph to a file on the daemon host
+	KindBFS        = "bfs"        // one BFS traversal (bfsrun's variants, including hybrid)
+	KindColoring   = "coloring"   // one speculative coloring run
+	KindComponents = "components" // one connected-components run (labelprop / pointerjump)
+	KindIrregular  = "irregular"  // the micbench irregular kernel
+	KindSweep      = "sweep"      // experiment sweeps (core.RunMany)
+	KindExport     = "export"     // serialise a loaded graph to a file on the daemon host
 )
 
 // GraphSpec names the input graph of a kernel job: either a file path on
@@ -69,7 +70,7 @@ type JobSpec struct {
 // normalize fills defaults and validates the spec.
 func (sp *JobSpec) normalize() error {
 	switch sp.Kind {
-	case KindBFS, KindColoring, KindIrregular:
+	case KindBFS, KindColoring, KindComponents, KindIrregular:
 		if sp.Graph.File == "" && sp.Graph.Suite == "" {
 			return fmt.Errorf("serve: %s job needs graph.file or graph.suite", sp.Kind)
 		}
@@ -80,6 +81,8 @@ func (sp *JobSpec) normalize() error {
 			switch sp.Kind {
 			case KindBFS:
 				sp.Variant = "omp-block-relaxed"
+			case KindComponents:
+				sp.Variant = "labelprop"
 			default:
 				sp.Variant = "openmp"
 			}
@@ -119,7 +122,7 @@ func (sp *JobSpec) normalize() error {
 			}
 		}
 	case "":
-		return fmt.Errorf("serve: job spec needs a kind (bfs, coloring, irregular, sweep, export)")
+		return fmt.Errorf("serve: job spec needs a kind (bfs, coloring, components, irregular, sweep, export)")
 	default:
 		return fmt.Errorf("serve: unknown job kind %q", sp.Kind)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"micgraph/internal/bfs"
 	"micgraph/internal/coloring"
+	"micgraph/internal/components"
 	"micgraph/internal/core"
 	"micgraph/internal/graph"
 	"micgraph/internal/graphio"
@@ -14,12 +15,19 @@ import (
 	"micgraph/internal/telemetry"
 )
 
-// workerRT is one queue worker's resident pair of scheduler runtimes,
-// created once at server start and reused by every job that worker runs —
-// the serving layer's whole point is not paying setup cost per request.
+// workerRT is one queue worker's resident scheduler runtimes and kernel
+// scratches, created once at server start and reused by every job that
+// worker runs — the serving layer's whole point is not paying setup cost
+// per request. The scratches make repeat kernel jobs on a cached graph
+// allocation-free in steady state (same pooled hot paths the kerneltest
+// alloc gates pin); jobs on one worker run sequentially, so the
+// single-run Scratch contract holds.
 type workerRT struct {
 	team *sched.Team
 	pool *sched.Pool
+	bfs  *bfs.Scratch
+	col  *coloring.Scratch
+	cmp  *components.Scratch
 }
 
 func (rt *workerRT) close() {
@@ -33,18 +41,21 @@ func (rt *workerRT) close() {
 // its "cell" lines (core.CellTelemetry records, each embedding the
 // simulator's per-cell mic.SimStats).
 type resultLine struct {
-	Type       string `json:"type"` // "result"
-	Kind       string `json:"kind"`
-	Graph      string `json:"graph"`
-	Variant    string `json:"variant,omitempty"`
-	NumLevels  int    `json:"levels,omitempty"`
-	Reached    int    `json:"reached,omitempty"`
-	Processed  int64  `json:"processed,omitempty"`
-	Duplicates int64  `json:"duplicates,omitempty"`
-	NumColors  int    `json:"colors,omitempty"`
-	Rounds     int    `json:"rounds,omitempty"`
-	Conflicts  []int  `json:"conflicts,omitempty"`
-	Iters      int    `json:"iters,omitempty"`
+	Type       string  `json:"type"` // "result"
+	Kind       string  `json:"kind"`
+	Graph      string  `json:"graph"`
+	Variant    string  `json:"variant,omitempty"`
+	NumLevels  int     `json:"levels,omitempty"`
+	Reached    int     `json:"reached,omitempty"`
+	Processed  int64   `json:"processed,omitempty"`
+	Duplicates int64   `json:"duplicates,omitempty"`
+	NumColors  int     `json:"colors,omitempty"`
+	Rounds     int     `json:"rounds,omitempty"`
+	Conflicts  []int   `json:"conflicts,omitempty"`
+	Components int     `json:"components,omitempty"`
+	TDLevels   int     `json:"td_levels,omitempty"`
+	BULevels   int     `json:"bu_levels,omitempty"`
+	Iters      int     `json:"iters,omitempty"`
 	Checksum   float64 `json:"checksum,omitempty"`
 }
 
@@ -259,15 +270,21 @@ func (s *Server) runKernel(ctx context.Context, w int, j *Job) error {
 			case "seq":
 				res = bfs.Sequential(g, src)
 			case "omp-block", "omp-block-relaxed":
-				res, err = bfs.BlockTeamCtx(ctx, g, src, rt.team, opts, spec.Chunk,
+				res, err = rt.bfs.BlockTeam(ctx, g, src, rt.team, opts, spec.Chunk,
 					spec.Variant == "omp-block-relaxed")
 			case "tbb-block", "tbb-block-relaxed":
-				res, err = bfs.BlockTBBCtx(ctx, g, src, rt.pool, sched.SimplePartitioner,
+				res, err = rt.bfs.BlockTBB(ctx, g, src, rt.pool, sched.SimplePartitioner,
 					spec.Chunk, spec.Chunk, spec.Variant == "tbb-block-relaxed")
 			case "bag":
-				res, err = bfs.BagCilkCtx(ctx, g, src, rt.pool, spec.Chunk)
+				res, err = rt.bfs.BagCilk(ctx, g, src, rt.pool, spec.Chunk)
 			case "tls":
-				res, err = bfs.TLSTeamCtx(ctx, g, src, rt.team, opts)
+				res, err = rt.bfs.TLSTeam(ctx, g, src, rt.team, opts)
+			case "hybrid":
+				var hres bfs.HybridResult
+				hres, err = rt.bfs.Hybrid(ctx, g, src, rt.team, opts, bfs.HybridConfig{})
+				res = hres.Result
+				line.TDLevels = hres.TopDownLevels
+				line.BULevels = hres.BottomUpLevels
 			default:
 				return fmt.Errorf("serve: unknown bfs variant %q", spec.Variant)
 			}
@@ -291,12 +308,12 @@ func (s *Server) runKernel(ctx context.Context, w int, j *Job) error {
 			case "seq":
 				res = coloring.SeqGreedy(g)
 			case "openmp":
-				res, err = coloring.ColorTeamCtx(ctx, g, rt.team,
+				res, err = rt.col.ColorTeam(ctx, g, rt.team,
 					sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
 			case "cilk":
-				res, err = coloring.ColorCilkCtx(ctx, g, rt.pool, spec.Chunk, coloring.CilkHolder)
+				res, err = rt.col.ColorCilk(ctx, g, rt.pool, spec.Chunk, coloring.CilkHolder)
 			case "tbb":
-				res, err = coloring.ColorTBBCtx(ctx, g, rt.pool, sched.SimplePartitioner, spec.Chunk)
+				res, err = rt.col.ColorTBB(ctx, g, rt.pool, sched.SimplePartitioner, spec.Chunk)
 			default:
 				return fmt.Errorf("serve: unknown coloring runtime %q", spec.Variant)
 			}
@@ -309,6 +326,29 @@ func (s *Server) runKernel(ctx context.Context, w int, j *Job) error {
 			line.NumColors = res.NumColors
 			line.Rounds = res.Rounds
 			line.Conflicts = res.Conflicts
+
+		case KindComponents:
+			var res components.Result
+			switch spec.Variant {
+			case "seq":
+				res = components.Sequential(g)
+			case "labelprop":
+				res, err = rt.cmp.LabelPropagation(ctx, g, rt.team,
+					sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
+			case "pointerjump":
+				res, err = rt.cmp.PointerJumping(ctx, g, rt.team,
+					sched.ForOptions{Policy: sched.Dynamic, Chunk: spec.Chunk})
+			default:
+				return fmt.Errorf("serve: unknown components variant %q", spec.Variant)
+			}
+			if err != nil {
+				return err
+			}
+			if err := components.Validate(g, res.Labels); err != nil {
+				return fmt.Errorf("serve: components invalid: %w", err)
+			}
+			line.Components = res.Count
+			line.Rounds = res.Rounds
 
 		case KindIrregular:
 			state := irregular.InitialState(g.NumVertices())

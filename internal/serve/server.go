@@ -10,6 +10,9 @@ import (
 	"sync"
 	"time"
 
+	"micgraph/internal/bfs"
+	"micgraph/internal/coloring"
+	"micgraph/internal/components"
 	"micgraph/internal/fault"
 	"micgraph/internal/mic"
 	"micgraph/internal/sched"
@@ -200,6 +203,9 @@ func New(cfg Config) *Server {
 		rt := &workerRT{
 			team: sched.NewTeam(cfg.KernelWorkers),
 			pool: sched.NewPool(cfg.KernelWorkers),
+			bfs:  bfs.NewScratch(),
+			col:  coloring.NewScratch(),
+			cmp:  components.NewScratch(),
 		}
 		rt.team.SetCounters(s.counters)
 		rt.pool.SetCounters(s.counters)

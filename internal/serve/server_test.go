@@ -122,6 +122,50 @@ func TestServeKernelJob(t *testing.T) {
 	}
 }
 
+// TestServeHybridAndComponentsJobs covers the kernel variants added with
+// the direction-optimizing BFS work: the "hybrid" bfs variant reports its
+// per-direction level split, and the "components" job kind runs both
+// parallel variants against the resident worker scratch.
+func TestServeHybridAndComponentsJobs(t *testing.T) {
+	s := New(Config{Workers: 1, KernelWorkers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	code, v := post(t, ts, JobSpec{Kind: KindBFS, Variant: "hybrid", Graph: GraphSpec{Suite: "pwtk", Scale: 8}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit hybrid = %d", code)
+	}
+	if fin := wait(t, ts, v.ID); fin.Status != StatusSucceeded {
+		t.Fatalf("hybrid job = %+v", fin)
+	}
+	lines := jsonLines(t, result(t, ts, v.ID))
+	res := lines[0]
+	if res["variant"] != "hybrid" {
+		t.Fatalf("variant = %v", res["variant"])
+	}
+	lv, _ := res["levels"].(float64)
+	td, _ := res["td_levels"].(float64)
+	bu, _ := res["bu_levels"].(float64)
+	if lv < 2 || td+bu != lv {
+		t.Errorf("hybrid levels = %v, td = %v, bu = %v; want td+bu == levels >= 2", lv, td, bu)
+	}
+
+	for _, variant := range []string{"labelprop", "pointerjump"} {
+		code, v := post(t, ts, JobSpec{Kind: KindComponents, Variant: variant, Graph: GraphSpec{Suite: "pwtk", Scale: 8}})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s = %d", variant, code)
+		}
+		if fin := wait(t, ts, v.ID); fin.Status != StatusSucceeded {
+			t.Fatalf("%s job = %+v", variant, fin)
+		}
+		res := jsonLines(t, result(t, ts, v.ID))[0]
+		if n, _ := res["components"].(float64); n < 1 {
+			t.Errorf("%s components = %v", variant, res["components"])
+		}
+	}
+}
+
 // TestServeConcurrentSweepsShareOneLoad is the acceptance scenario: two
 // concurrent sweep submissions against one daemon trigger exactly one
 // suite generation (singleflight observed via cache stats) and both
@@ -379,9 +423,9 @@ func TestServeMetricsz(t *testing.T) {
 				ChunksClaimed int64 `json:"chunks_claimed"`
 			} `json:"totals"`
 		} `json:"counters"`
-		Cache CacheStats          `json:"cache"`
-		Queue QueueStats          `json:"queue"`
-		Jobs  map[string]int      `json:"jobs"`
+		Cache CacheStats     `json:"cache"`
+		Queue QueueStats     `json:"queue"`
+		Jobs  map[string]int `json:"jobs"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
